@@ -1,0 +1,210 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation toggles one modeling/architecture decision and reports its
+effect, so the contribution of every mechanism is measurable:
+
+* ECC storage in shared caches (area/energy tax).
+* Sequential vs parallel (NORMAL) cache access (energy vs latency).
+* HP vs LSTP devices for a whole chip (leakage vs frequency headroom).
+* Multithreading as stall-hiding (the Niagara bet).
+
+Run with::
+
+    pytest benchmarks/bench_ablations.py --benchmark-only -s
+"""
+
+import dataclasses
+
+from repro.array import Cache, CacheAccessMode, CacheSpec
+from repro.chip import Processor
+from repro.config import presets
+from repro.config.schema import CoreConfig
+from repro.perf import SPLASH2_PROFILES, estimate_cpi
+from repro.tech import DeviceType, Technology
+from repro.units import MB
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+def test_ablation_ecc(benchmark):
+    """ECC check bits: the area/energy tax of SECDED in a 4 MB cache."""
+    def build_both():
+        base = CacheSpec(name="l2", capacity_bytes=4 * MB, block_bytes=64,
+                         associativity=16,
+                         access_mode=CacheAccessMode.SEQUENTIAL)
+        with_ecc = dataclasses.replace(base, ecc=True)
+        return Cache.build(TECH, base), Cache.build(TECH, with_ecc)
+
+    plain, ecc = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    area_tax = ecc.area / plain.area - 1
+    energy_tax = ecc.read_hit_energy / plain.read_hit_energy - 1
+    print(f"\nECC ablation (4MB L2): area +{area_tax:.1%}, "
+          f"read energy +{energy_tax:.1%}")
+    assert 0.05 < area_tax < 0.25
+    assert energy_tax > 0
+
+
+def test_ablation_access_mode(benchmark):
+    """Sequential vs parallel tag/data access on a 1 MB 8-way cache."""
+    def build_modes():
+        out = {}
+        for mode in CacheAccessMode:
+            spec = CacheSpec(name="l2", capacity_bytes=1 * MB,
+                             block_bytes=64, associativity=8,
+                             access_mode=mode)
+            out[mode] = Cache.build(TECH, spec)
+        return out
+
+    caches = benchmark.pedantic(build_modes, rounds=1, iterations=1)
+    print("\nAccess-mode ablation (1MB 8-way)")
+    for mode, cache in caches.items():
+        print(f"  {mode.value:<10} hit {cache.access_time * 1e9:5.2f} ns, "
+              f"{cache.read_hit_energy * 1e12:7.1f} pJ")
+    seq = caches[CacheAccessMode.SEQUENTIAL]
+    normal = caches[CacheAccessMode.NORMAL]
+    fast = caches[CacheAccessMode.FAST]
+    assert seq.read_hit_energy < normal.read_hit_energy
+    assert fast.access_time <= normal.access_time
+
+
+def test_ablation_device_flavor(benchmark):
+    """HP vs LSTP devices for the whole Niagara2 chip."""
+    def build_both():
+        hp = Processor(presets.niagara2())
+        lstp_config = dataclasses.replace(
+            presets.niagara2(), device_type=DeviceType.LSTP,
+        )
+        return hp, Processor(lstp_config)
+
+    hp, lstp = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    print(f"\nDevice-flavor ablation (Niagara2 @65nm):")
+    print(f"  HP   leakage {hp.leakage_power:6.1f} W, "
+          f"TDP {hp.tdp:6.1f} W")
+    print(f"  LSTP leakage {lstp.leakage_power:6.1f} W, "
+          f"TDP {lstp.tdp:6.1f} W")
+    assert lstp.leakage_power < hp.leakage_power / 10
+
+
+def test_ablation_link_signaling(benchmark):
+    """Low-swing vs full-swing NoC links: energy vs latency."""
+    from repro.config.schema import LinkSignaling
+    from repro.noc import Link
+
+    def build_both():
+        full = Link(TECH, flit_bits=128, length=2e-3)
+        low = Link(TECH, flit_bits=128, length=2e-3,
+                   signaling=LinkSignaling.LOW_SWING)
+        return full, low
+
+    full, low = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    print("\nLink-signaling ablation (128b, 2mm @65nm):")
+    print(f"  full swing: {full.energy_per_flit * 1e12:6.2f} pJ/flit, "
+          f"{full.delay * 1e12:6.0f} ps")
+    print(f"  low swing : {low.energy_per_flit * 1e12:6.2f} pJ/flit, "
+          f"{low.delay * 1e12:6.0f} ps")
+    assert low.energy_per_flit < full.energy_per_flit / 2
+    assert low.delay > full.delay
+
+
+def test_ablation_edram(benchmark):
+    """eDRAM vs SRAM for a 1 MB array: density vs refresh/restore."""
+    from repro.array import ArraySpec, CellType, build_array
+
+    def build_both():
+        spec = dict(name="slice", entries=16384, width_bits=512)
+        sram = build_array(TECH, ArraySpec(**spec,
+                                           cell_type=CellType.SRAM))
+        edram = build_array(TECH, ArraySpec(**spec,
+                                            cell_type=CellType.EDRAM))
+        return sram, edram
+
+    sram, edram = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    print(f"\neDRAM ablation (1MB slice @{TECH.node_nm}nm):")
+    print(f"  SRAM : {sram.area * 1e6:6.3f} mm^2, "
+          f"leak {sram.leakage_power * 1e3:7.1f} mW")
+    print(f"  eDRAM: {edram.area * 1e6:6.3f} mm^2, "
+          f"leak {edram.leakage_power * 1e3:7.1f} mW "
+          f"(refresh {edram.refresh_power * 1e3:5.2f} mW)")
+    assert edram.area < sram.area / 2
+    assert edram.refresh_power > 0
+    assert edram.leakage_power < sram.leakage_power
+
+
+def test_ablation_noc_topology(benchmark):
+    """Mesh vs torus vs concentrated mesh at 64 endpoints."""
+    from repro.activity import NocActivity
+    from repro.config.schema import NocConfig, NocTopology
+    from repro.noc import NetworkOnChip
+
+    def build_all():
+        out = {}
+        for topo in (NocTopology.MESH_2D, NocTopology.TORUS_2D,
+                     NocTopology.CMESH_2D):
+            out[topo] = NetworkOnChip(
+                tech=TECH, config=NocConfig(topology=topo),
+                n_endpoints=64, endpoint_pitch=2e-3,
+            )
+        return out
+
+    nocs = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print("\nNoC-topology ablation (64 endpoints, 2mm pitch @65nm)")
+    act = NocActivity(flits_per_cycle_per_router=0.3)
+    for topo, noc in nocs.items():
+        result = noc.result(2e9, act)
+        print(f"  {topo.value:<10} routers={noc.n_routers:>3} "
+              f"hops={noc.average_hops:4.1f} "
+              f"P={result.total_runtime_dynamic_power:6.2f} W "
+              f"leak={result.total_leakage_power:5.2f} W")
+    from repro.config.schema import NocTopology as T
+
+    assert nocs[T.TORUS_2D].average_hops < nocs[T.MESH_2D].average_hops
+    assert nocs[T.CMESH_2D].n_routers < nocs[T.MESH_2D].n_routers
+
+
+def test_ablation_power_gating(benchmark):
+    """Sleep transistors: idle leakage savings vs area overhead."""
+    from repro.activity import CoreActivity
+    from repro.core import Core
+
+    def build_both():
+        idle = CoreActivity(ipc=0.0, duty_cycle=0.0)
+        gated_cfg = CoreConfig(name="gated", power_gating=True)
+        plain_cfg = CoreConfig(name="plain")
+        gated = Core(TECH, gated_cfg).result(2e9, idle)
+        plain = Core(TECH, plain_cfg).result(2e9, idle)
+        return gated, plain
+
+    gated, plain = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    leak_saving = 1 - (gated.total_runtime_leakage_power
+                       / plain.total_runtime_leakage_power)
+    area_cost = gated.total_area / plain.total_area - 1
+    print(f"\nPower-gating ablation (idle core @65nm): "
+          f"-{leak_saving:.0%} idle leakage for +{area_cost:.1%} area")
+    assert leak_saving > 0.8
+    assert 0.0 < area_cost < 0.10
+
+
+def test_ablation_multithreading(benchmark):
+    """Hardware threads hide memory stalls (the Niagara design bet)."""
+    workload = SPLASH2_PROFILES["ocean"]
+
+    def sweep_threads():
+        results = {}
+        for threads in (1, 2, 4, 8):
+            core = CoreConfig(name=f"t{threads}",
+                              hardware_threads=threads)
+            results[threads] = estimate_cpi(
+                core, workload,
+                l2_hit_latency_cycles=20.0,
+                l2_miss_rate=0.4,
+                memory_latency_cycles=200.0,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep_threads, rounds=1, iterations=1)
+    print("\nMultithreading ablation (ocean, slow memory)")
+    for threads, cpi in results.items():
+        print(f"  {threads} threads: CPI {cpi.total:5.2f} "
+              f"(stall {cpi.l1_miss_stall + cpi.l2_miss_stall:5.2f})")
+    cpis = [results[t].total for t in (1, 2, 4, 8)]
+    assert cpis == sorted(cpis, reverse=True)

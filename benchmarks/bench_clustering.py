@@ -1,0 +1,69 @@
+"""Benchmarks regenerating the clustering case study (F-C1..F-C4).
+
+A 64-core 22 nm CMP with 1/2/4/8/16 cores per cluster sharing an L2,
+evaluated over SPLASH-2-like workloads. Run with::
+
+    pytest benchmarks/bench_clustering.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.clustering import (
+    format_clustering_table,
+    optimal_cluster_size,
+    run_clustering_study,
+)
+
+_POINTS_CACHE = {}
+
+
+def _points(n_cores=64):
+    if n_cores not in _POINTS_CACHE:
+        _POINTS_CACHE[n_cores] = run_clustering_study(n_cores=n_cores)
+    return _POINTS_CACHE[n_cores]
+
+
+def test_power_breakdown(benchmark):
+    """F-C1: per-component power vs cluster size."""
+    points = benchmark.pedantic(_points, rounds=1, iterations=1)
+    print("\nClustering case study — full table")
+    print(format_clustering_table(points))
+    noc = [p.noc_power_w for p in points]
+    assert noc == sorted(noc, reverse=True), (
+        "NoC power must fall as clusters grow")
+
+
+def test_performance(benchmark):
+    """F-C2: runtime/throughput vs cluster size."""
+    points = benchmark.pedantic(_points, rounds=1, iterations=1)
+    print("\nPerformance vs cluster size")
+    for p in points:
+        print(f"  {p.cores_per_cluster:>2} cores/cluster: "
+              f"{p.throughput_gips:6.1f} GIPS, {p.runtime_s:.3f} s")
+    best = min(points, key=lambda p: p.runtime_s)
+    worst = max(points, key=lambda p: p.runtime_s)
+    assert best.runtime_s < worst.runtime_s
+
+
+def test_edp(benchmark):
+    """F-C3: energy-delay product vs cluster size."""
+    points = benchmark.pedantic(_points, rounds=1, iterations=1)
+    print("\nEDP vs cluster size")
+    for p in points:
+        print(f"  {p.cores_per_cluster:>2}: EDP = {p.edp:9.1f} J*s")
+    best = optimal_cluster_size(points, "edp")
+    print(f"EDP-optimal cluster size: {best}")
+    assert best > 1, "some clustering should beat fully private L2s"
+
+
+def test_ed2p(benchmark):
+    """F-C4: energy-delay^2 product vs cluster size."""
+    points = benchmark.pedantic(_points, rounds=1, iterations=1)
+    print("\nED^2P vs cluster size")
+    for p in points:
+        print(f"  {p.cores_per_cluster:>2}: ED2P = {p.ed2p:10.1f} J*s^2")
+    edp_opt = optimal_cluster_size(points, "edp")
+    ed2p_opt = optimal_cluster_size(points, "ed2p")
+    print(f"EDP optimum {edp_opt}, ED2P optimum {ed2p_opt}")
+    # ED^2P weighs delay harder: its optimum is not a larger cluster.
+    assert ed2p_opt <= 2 * edp_opt

@@ -1,0 +1,30 @@
+"""Benchmark regenerating the DVFS / EPI extension figure (F-V).
+
+Run with::
+
+    pytest benchmarks/bench_dvfs.py --benchmark-only -s
+"""
+
+from repro.experiments.dvfs import format_dvfs_table, run_dvfs_study
+
+
+def test_dvfs_epi_curve(benchmark):
+    """F-V: EPI and throughput vs supply voltage (Niagara2, barnes)."""
+    points = benchmark.pedantic(run_dvfs_study, rounds=1, iterations=1)
+    print("\nDVFS study")
+    print(format_dvfs_table(points))
+
+    by_vdd = sorted(points, key=lambda p: p.vdd_v)
+    epis = [p.epi_nj for p in by_vdd]
+    throughputs = [p.throughput_gips for p in by_vdd]
+    powers = [p.power_w for p in by_vdd]
+
+    # Shape: all three rise with Vdd; EPI falls super-linearly downward.
+    assert epis == sorted(epis)
+    assert throughputs == sorted(throughputs)
+    assert powers == sorted(powers)
+    # The efficiency claim: the lowest-Vdd point trades < 20% throughput
+    # for > 30% power (EPI win).
+    low, high = by_vdd[0], by_vdd[-2]  # -2 = nominal
+    assert low.throughput_gips > 0.8 * high.throughput_gips
+    assert low.power_w < 0.85 * high.power_w

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the manycore-scaling extension figure (F-M).
+
+Run with::
+
+    pytest benchmarks/bench_manycore_scaling.py --benchmark-only -s
+"""
+
+from repro.experiments.manycore_scaling import (
+    format_scaling_points,
+    run_manycore_scaling,
+)
+
+
+def test_manycore_scaling_figure(benchmark):
+    """F-M: max cores under fixed area+power budgets across nodes."""
+    points = benchmark.pedantic(
+        run_manycore_scaling, rounds=1, iterations=1)
+    print("\nManycore scaling study (260 mm^2 / 130 W budgets)")
+    print(format_scaling_points(points))
+
+    ordered = sorted(points, key=lambda p: -p.node_nm)
+    counts = [p.max_cores for p in ordered]
+    # Core counts grow (weakly) monotonically as nodes shrink...
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+    # ...and the binding constraint flips from area to power at the end
+    # (the dark-silicon transition).
+    assert ordered[0].limiter == "area"
+    assert ordered[-1].limiter == "power"

@@ -1,0 +1,35 @@
+"""Benchmark regenerating the pipeline-depth extension figure (F-P).
+
+Run with::
+
+    pytest benchmarks/bench_pipeline_depth.py --benchmark-only -s
+"""
+
+from repro.experiments.pipeline_depth import (
+    format_pipeline_table,
+    run_pipeline_depth_study,
+)
+
+
+def test_pipeline_depth_figure(benchmark):
+    """F-P: BIPS and BIPS^3/W vs pipeline depth."""
+    points = benchmark.pedantic(
+        run_pipeline_depth_study, rounds=1, iterations=1)
+    print("\nPipeline-depth study (45nm, 2-wide core)")
+    print(format_pipeline_table(points))
+
+    best_perf = max(points, key=lambda p: p.bips)
+    best_eff = max(points, key=lambda p: p.bips3_per_watt)
+    print(f"performance-optimal depth: {best_perf.stages}, "
+          f"efficiency-optimal depth: {best_eff.stages}")
+
+    depths = [p.stages for p in points]
+    # The published shape: both optima are interior, and the
+    # power-efficiency optimum is shallower than the performance one.
+    assert min(depths) < best_perf.stages
+    assert min(depths) < best_eff.stages <= best_perf.stages
+    # Clock rises monotonically with depth; IPC falls monotonically.
+    clocks = [p.clock_hz for p in points]
+    ipcs = [p.ipc for p in points]
+    assert clocks == sorted(clocks)
+    assert ipcs == sorted(ipcs, reverse=True)

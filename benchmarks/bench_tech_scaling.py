@@ -1,0 +1,30 @@
+"""Benchmark regenerating the technology-scaling figure (F-S).
+
+Run with::
+
+    pytest benchmarks/bench_tech_scaling.py --benchmark-only -s
+"""
+
+from repro.experiments.tech_scaling import (
+    format_scaling_table,
+    run_tech_scaling,
+)
+from repro.tech import DeviceType
+
+
+def test_tech_scaling_figure(benchmark):
+    """F-S: fixed core across 90->22 nm, HP vs LSTP."""
+    rows = benchmark.pedantic(run_tech_scaling, rounds=1, iterations=1)
+    print("\nTechnology scaling figure data")
+    print(format_scaling_table(rows))
+
+    hp = sorted((r for r in rows if r.device_type is DeviceType.HP),
+                key=lambda r: -r.node_nm)
+    # Shape assertions: the figure's qualitative claims.
+    areas = [r.area_mm2 for r in hp]
+    assert areas == sorted(areas, reverse=True)
+    fractions = [r.leakage_fraction for r in hp]
+    assert fractions == sorted(fractions)
+    for row in rows:
+        if row.device_type is DeviceType.LSTP:
+            assert row.leakage_fraction < 0.05

@@ -1,0 +1,28 @@
+"""Benchmark regenerating the temperature-sensitivity figure (F-T).
+
+Run with::
+
+    pytest benchmarks/bench_temperature.py --benchmark-only -s
+"""
+
+from repro.experiments.temperature import (
+    format_temperature_table,
+    run_temperature_study,
+)
+
+
+def test_temperature_leakage_curve(benchmark):
+    """F-T: chip leakage vs junction temperature (Niagara2)."""
+    points = benchmark.pedantic(
+        run_temperature_study, rounds=1, iterations=1)
+    print("\nTemperature study")
+    print(format_temperature_table(points))
+
+    ordered = sorted(points, key=lambda p: p.temperature_k)
+    leaks = [p.leakage_w for p in ordered]
+    assert leaks == sorted(leaks)
+    # ~an order of magnitude from 300 K to 380 K on HP devices.
+    assert 4.0 < leaks[-1] / leaks[0] < 25.0
+    # Leakage share of TDP grows with temperature.
+    fractions = [p.leakage_fraction for p in ordered]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,64 @@
+"""Benchmarks regenerating the validation tables (T1-T5, F-A).
+
+Each benchmark times the full modeling run for one validation target and
+prints the published-vs-modeled table the paper reports. Run with::
+
+    pytest benchmarks/bench_validation.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.chip import Processor
+from repro.config import presets
+from repro.experiments import (
+    PUBLISHED,
+    format_validation_table,
+    run_validation,
+)
+
+CHIPS = tuple(PUBLISHED)
+
+
+def test_table1_configs(benchmark):
+    """T1: the four validation targets' configurations."""
+    def build_all():
+        return {name: presets.VALIDATION_PRESETS[name]()
+                for name in CHIPS}
+
+    configs = benchmark(build_all)
+    print("\nTable 1 — validation target configurations")
+    print(f"{'chip':<12} {'node':>5} {'clock':>8} {'cores':>6} "
+          f"{'threads':>8} {'ooo':>4}")
+    for name, config in configs.items():
+        print(f"{name:<12} {config.node_nm:>5} "
+              f"{config.clock_hz / 1e9:>7.1f}G {config.n_cores:>6} "
+              f"{config.core.hardware_threads:>8} "
+              f"{'y' if config.core.is_ooo else 'n':>4}")
+    assert len(configs) == 4
+
+
+@pytest.mark.parametrize("chip", CHIPS)
+def test_power_validation(benchmark, chip):
+    """T2-T5: per-chip power validation (published vs modeled)."""
+    def model():
+        processor = Processor(presets.VALIDATION_PRESETS[chip]())
+        return processor, processor.report(activity=None)
+
+    processor, _ = benchmark.pedantic(model, rounds=1, iterations=1)
+    rows = [r for r in run_validation((chip,)) if r.chip == chip]
+    print(f"\n{PUBLISHED[chip].name} — power validation")
+    print(format_validation_table(rows))
+    power_row = next(r for r in rows if r.metric == "power_w")
+    assert abs(power_row.error_fraction) < 0.25
+
+
+def test_area_validation(benchmark):
+    """F-A: die-area validation figure across all four chips."""
+    rows = benchmark.pedantic(
+        lambda: [r for r in run_validation() if r.metric == "area_mm2"],
+        rounds=1, iterations=1,
+    )
+    print("\nArea validation (published vs modeled, mm^2)")
+    print(format_validation_table(rows))
+    for row in rows:
+        assert abs(row.error_fraction) < 0.40, row

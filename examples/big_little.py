@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Heterogeneous (big.LITTLE) chip study.
+
+Compares three 22 nm chips under the same area lens: four big OOO cores,
+sixteen little in-order cores, and a heterogeneous 4 big + 8 little mix —
+the single-ISA-heterogeneity question McPAT-class tools were widely used
+to study.
+
+Run:  python examples/big_little.py
+"""
+
+import dataclasses
+
+from repro import (
+    CacheGeometry,
+    CoreActivity,
+    CoreConfig,
+    Processor,
+    SharedCacheConfig,
+    SystemActivity,
+    SystemConfig,
+)
+from repro.units import KB, MB
+
+BIG = CoreConfig(
+    name="big", is_ooo=True, fetch_width=4, decode_width=4, issue_width=4,
+    commit_width=4, pipeline_stages=12, int_alus=3, fpus=2, mul_divs=1,
+    phys_int_regs=128, phys_fp_regs=128, rob_entries=128,
+    issue_window_entries=48, fp_issue_window_entries=24,
+    load_queue_entries=48, store_queue_entries=32,
+    icache=CacheGeometry(capacity_bytes=32 * KB, associativity=4),
+    dcache=CacheGeometry(capacity_bytes=32 * KB, associativity=8),
+)
+
+LITTLE = CoreConfig(
+    name="little", is_ooo=False, power_gating=True,
+    hardware_threads=2, fetch_width=2,
+    decode_width=2, issue_width=2, commit_width=2, pipeline_stages=8,
+    int_alus=1, fpus=1, mul_divs=1,
+    icache=CacheGeometry(capacity_bytes=16 * KB, associativity=4),
+    dcache=CacheGeometry(capacity_bytes=16 * KB, associativity=4),
+    branch_predictor=None,
+)
+
+
+def base_chip(**kwargs) -> SystemConfig:
+    defaults = dict(
+        name="chip", node_nm=22, clock_hz=2.5e9, n_cores=4, core=BIG,
+        l2=SharedCacheConfig(capacity_bytes=4 * MB, associativity=16,
+                             banks=4),
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def main() -> None:
+    chips = {
+        "4 big": base_chip(),
+        "16 little": base_chip(n_cores=16, core=LITTLE),
+        "4 big + 8 little": base_chip(
+            little_core=LITTLE, n_little_cores=8),
+    }
+
+    print(f"{'chip':<18} {'area mm2':>9} {'TDP W':>7} {'leak W':>7} "
+          f"{'fmax GHz':>9}")
+    print("-" * 56)
+    for name, config in chips.items():
+        processor = Processor(config)
+        fmax = processor.max_feasible_clock() / 1e9
+        print(f"{name:<18} {processor.area * 1e6:>9.1f} "
+              f"{processor.tdp:>7.1f} {processor.leakage_power:>7.1f} "
+              f"{fmax:>9.2f}")
+
+    # Runtime: big cores on the latency-critical thread, littles on the
+    # throughput threads, using hand-specified per-type activity.
+    hetero = Processor(chips["4 big + 8 little"])
+    activity = SystemActivity(
+        core=CoreActivity(ipc=2.2),          # busy big cores
+        little_core=CoreActivity(ipc=0.9),   # busy little cores
+    )
+    report = hetero.report(activity)
+    big_power = next(c for c in report.children
+                     if c.name.startswith("Cores")).total_runtime_power
+    little_power = next(
+        c for c in report.children
+        if c.name.startswith("Little")).total_runtime_power
+    print(f"\nHeterogeneous chip, all cores busy: "
+          f"{report.total_runtime_power:.1f} W total")
+    print(f"  4 big cores   : {big_power:6.1f} W "
+          f"({big_power / 4:.2f} W/core)")
+    print(f"  8 little cores: {little_power:6.1f} W "
+          f"({little_power / 8:.2f} W/core)")
+
+    idle_littles = dataclasses.replace(
+        activity, little_core=CoreActivity(ipc=0.0, duty_cycle=0.0))
+    gated = hetero.report(idle_littles)
+    print(f"  ... with littles power-gated idle: "
+          f"{gated.total_runtime_power:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

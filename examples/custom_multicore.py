@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Model a custom out-of-order multicore from scratch.
+
+Shows the full configuration schema: an 8-core 32 nm OOO chip with a
+mesh NoC and a shared L3, analyzed for TDP and for runtime power across
+several workloads via the performance substrate.
+
+Run:  python examples/custom_multicore.py
+"""
+
+from repro import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    CoreConfig,
+    MemoryControllerConfig,
+    MulticoreSimulator,
+    NocConfig,
+    NocTopology,
+    Processor,
+    SharedCacheConfig,
+    SPLASH2_PROFILES,
+    SystemConfig,
+)
+from repro.units import KB, MB
+
+
+def build_chip() -> SystemConfig:
+    core = CoreConfig(
+        name="big-ooo",
+        is_ooo=True,
+        hardware_threads=2,
+        fetch_width=4,
+        decode_width=4,
+        issue_width=6,
+        commit_width=4,
+        pipeline_stages=14,
+        int_alus=4,
+        fpus=2,
+        mul_divs=1,
+        phys_int_regs=160,
+        phys_fp_regs=144,
+        rob_entries=192,
+        issue_window_entries=60,
+        fp_issue_window_entries=32,
+        load_queue_entries=64,
+        store_queue_entries=48,
+        icache=CacheGeometry(capacity_bytes=32 * KB, associativity=4),
+        dcache=CacheGeometry(capacity_bytes=32 * KB, associativity=8,
+                             mshr_entries=16),
+        branch_predictor=BranchPredictorConfig(
+            btb_entries=4096, global_entries=8192, local_entries=2048,
+            chooser_entries=8192, ras_entries=32,
+        ),
+    )
+    return SystemConfig(
+        name="custom-8core-32nm",
+        node_nm=32,
+        clock_hz=3.0e9,
+        n_cores=8,
+        core=core,
+        l2=SharedCacheConfig(
+            name="L2", capacity_bytes=512 * KB, associativity=8, banks=2,
+            instances=8,  # private L2 per core
+        ),
+        l3=SharedCacheConfig(
+            name="L3", capacity_bytes=16 * MB, associativity=16, banks=8,
+            instances=1, directory_sharers=8,
+        ),
+        noc=NocConfig(topology=NocTopology.MESH_2D, flit_bits=256),
+        memory_controller=MemoryControllerConfig(
+            channels=4, data_bus_bits=64, peak_transfer_rate_mts=3200,
+        ),
+    )
+
+
+def main() -> None:
+    config = build_chip()
+    chip = Processor(config)
+
+    print(f"=== {config.name} ===")
+    print(f"TDP  {chip.tdp:6.1f} W    area {chip.area * 1e6:6.1f} mm^2\n")
+
+    report = chip.report()
+    for child in report.children:
+        share = child.total_peak_power / chip.tdp
+        print(f"  {child.name:<24} {child.total_peak_power:7.1f} W "
+              f"({share:5.1%})   {child.total_area * 1e6:8.2f} mm^2")
+
+    print("\nRuntime behavior across workloads:")
+    simulator = MulticoreSimulator(chip)
+    header = (f"{'workload':<10} {'IPC/core':>8} {'GIPS':>7} "
+              f"{'power W':>8} {'energy/instr nJ':>16}")
+    print(header)
+    print("-" * len(header))
+    for name in ("water", "lu", "barnes", "ocean", "radix"):
+        result = simulator.run(SPLASH2_PROFILES[name])
+        power = chip.report(result.activity).total_runtime_power
+        epi = power / result.throughput_ips * 1e9
+        print(f"{name:<10} {result.ipc_per_core:>8.2f} "
+              f"{result.throughput_ips / 1e9:>7.1f} {power:>8.1f} "
+              f"{epi:>16.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the manycore clustering question.
+
+How many cores should share an L2 on a 64-core 22 nm chip? This is the
+paper's case study. We pair the power/area model with the analytical
+performance substrate, sweep the cluster size, and rank designs by
+energy-delay product under an area budget.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import Processor, presets
+from repro.optimizer import (
+    DesignConstraints,
+    DesignObjective,
+    sweep_designs,
+)
+from repro.perf import SPLASH2_PROFILES
+
+
+def main() -> None:
+    workload = SPLASH2_PROFILES["barnes"]
+    candidates = [
+        presets.manycore_cluster(n_cores=64, cores_per_cluster=size)
+        for size in (1, 2, 4, 8, 16)
+    ]
+
+    print("Sweeping 64-core 22nm designs, objective = EDP on 'barnes',")
+    print("constraint: die area <= 300 mm^2\n")
+
+    ranked = sweep_designs(
+        candidates,
+        objective=DesignObjective.EDP,
+        constraints=DesignConstraints(max_area_mm2=300.0),
+        workload=workload,
+    )
+
+    header = (f"{'rank':>4} {'cores/cluster':>13} {'area mm2':>9} "
+              f"{'TDP W':>7} {'time s':>8} {'EDP':>9} {'ok':>3}")
+    print(header)
+    print("-" * len(header))
+    for rank, cand in enumerate(ranked, start=1):
+        size = cand.config.l2.capacity_bytes // (512 * 1024)
+        print(f"{rank:>4} {size:>13} {cand.area_mm2:>9.1f} "
+              f"{cand.tdp_w:>7.1f} {cand.runtime_s:>8.3f} "
+              f"{cand.edp:>9.1f} {'y' if cand.feasible else 'n':>3}")
+
+    best = ranked[0]
+    print(f"\nEDP-optimal design: {best.config.name}")
+
+    # Drill into the winner's power breakdown.
+    processor = Processor(best.config)
+    from repro.perf import MulticoreSimulator
+
+    result = MulticoreSimulator(processor).run(workload)
+    report = processor.report(result.activity)
+    print(f"runtime power {report.total_runtime_power:.1f} W, "
+          f"of which NoC {report.child('NoC').total_runtime_power:.2f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: model a real chip in a few lines.
+
+Builds the Niagara (UltraSPARC T1) preset, prints the McPAT-style
+hierarchical power/area report, the timing summary, and shows the
+config JSON round trip.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CoreActivity,
+    Processor,
+    SystemActivity,
+    format_report,
+    load_system_config,
+    presets,
+    save_system_config,
+)
+
+
+def main() -> None:
+    # 1. Pick an architecture. Presets mirror the paper's validation
+    #    targets; you can also build a SystemConfig from scratch.
+    config = presets.niagara1()
+    chip = Processor(config)
+
+    # 2. Peak (TDP) analysis needs nothing but the configuration.
+    print(f"=== {config.name} @ {config.clock_hz / 1e9:.1f} GHz, "
+          f"{config.node_nm} nm ===")
+    print(f"TDP          : {chip.tdp:7.1f} W")
+    print(f"  peak dynamic {chip.peak_dynamic_power:7.1f} W")
+    print(f"  leakage      {chip.leakage_power:7.1f} W")
+    print(f"Die area     : {chip.area * 1e6:7.1f} mm^2")
+    print()
+
+    # 3. Timing: how many cycles each critical array needs at the target
+    #    clock (the architect's feasibility check).
+    print("Timing summary (cycles at target clock):")
+    for name, cycles in chip.timing_summary().items():
+        print(f"  {name:<20} {cycles:5.2f}")
+    print()
+
+    # 4. Runtime analysis: provide activity statistics (here hand-written;
+    #    see the design-space example for simulator-generated stats).
+    activity = SystemActivity(core=CoreActivity(
+        ipc=0.7, load_fraction=0.25, store_fraction=0.10,
+        dcache_miss_rate=0.05,
+    ))
+    report = chip.report(activity)
+    print(format_report(report, max_depth=2))
+    print()
+
+    # 5. Configurations serialize to JSON and round-trip exactly.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "niagara.json"
+        save_system_config(config, path)
+        assert load_system_config(path) == config
+        print(f"Config round-tripped through {path.name}: OK")
+
+
+if __name__ == "__main__":
+    main()

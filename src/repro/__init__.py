@@ -1,0 +1,73 @@
+"""repro — a reproduction of McPAT (MICRO 2009).
+
+An integrated power, area, and timing modeling framework for multicore
+and manycore architectures. Describe a chip at the architecture level
+(:class:`~repro.config.schema.SystemConfig` or a preset), build a
+:class:`~repro.chip.processor.Processor`, and get hierarchical
+power/area/timing results; pair it with the analytical performance
+substrate in :mod:`repro.perf` for runtime power, EDP, and design-space
+studies.
+
+Quickstart::
+
+    from repro import Processor, presets, format_report
+
+    chip = Processor(presets.niagara1())
+    print(f"TDP  = {chip.tdp:.1f} W")
+    print(f"Area = {chip.area * 1e6:.1f} mm^2")
+    print(format_report(chip.report()))
+"""
+
+from repro.activity import (
+    CacheActivity,
+    CoreActivity,
+    MemoryControllerActivity,
+    NocActivity,
+    SystemActivity,
+)
+from repro.chip import ComponentResult, Processor, format_report
+from repro.config import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    CoreConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    NocTopology,
+    SharedCacheConfig,
+    SystemConfig,
+    load_system_config,
+    presets,
+    save_system_config,
+)
+from repro.perf import MulticoreSimulator, SPLASH2_PROFILES, Workload
+from repro.tech import DeviceType, Technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheActivity",
+    "CoreActivity",
+    "MemoryControllerActivity",
+    "NocActivity",
+    "SystemActivity",
+    "ComponentResult",
+    "Processor",
+    "format_report",
+    "BranchPredictorConfig",
+    "CacheGeometry",
+    "CoreConfig",
+    "MemoryControllerConfig",
+    "NocConfig",
+    "NocTopology",
+    "SharedCacheConfig",
+    "SystemConfig",
+    "load_system_config",
+    "presets",
+    "save_system_config",
+    "MulticoreSimulator",
+    "SPLASH2_PROFILES",
+    "Workload",
+    "DeviceType",
+    "Technology",
+    "__version__",
+]

@@ -1,0 +1,170 @@
+"""Runtime activity statistics — the optional second input to McPAT.
+
+McPAT decouples performance simulation from power/area/timing modeling: a
+performance simulator (or the analytical substrate in :mod:`repro.perf`)
+produces per-component activity, and these dataclasses carry it. All
+figures are normalized per core clock cycle, which makes them
+clock-independent and easy for simulators to emit.
+
+Peak (TDP) variants pin every structure at its maximum sustainable
+activity, which is how the thermal design power is defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _check_fraction(name: str, value: float, upper: float = 1.0) -> None:
+    if not 0.0 <= value <= upper:
+        raise ValueError(f"{name} must be within [0, {upper}], got {value}")
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """Per-cycle activity of one core.
+
+    Attributes:
+        ipc: Committed instructions per cycle.
+        duty_cycle: Fraction of time the core is active (clock-gated
+            otherwise).
+        load_fraction: Loads per committed instruction.
+        store_fraction: Stores per committed instruction.
+        branch_fraction: Branches per committed instruction.
+        fp_fraction: Floating-point ops per committed instruction.
+        mul_fraction: Multiply/divide ops per committed instruction.
+        icache_miss_rate: I-cache misses per access.
+        dcache_miss_rate: D-cache misses per access.
+        speculation_overhead: Fetched-but-squashed work as a fraction of
+            committed work (drives front-end and window overactivity).
+    """
+
+    ipc: float
+    duty_cycle: float = 1.0
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.15
+    fp_fraction: float = 0.05
+    mul_fraction: float = 0.02
+    icache_miss_rate: float = 0.01
+    dcache_miss_rate: float = 0.03
+    speculation_overhead: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.ipc < 0:
+            raise ValueError(f"ipc must be non-negative, got {self.ipc}")
+        _check_fraction("duty_cycle", self.duty_cycle)
+        for name in ("load_fraction", "store_fraction", "branch_fraction",
+                     "fp_fraction", "mul_fraction", "icache_miss_rate",
+                     "dcache_miss_rate"):
+            _check_fraction(name, getattr(self, name))
+        _check_fraction("speculation_overhead", self.speculation_overhead, 2.0)
+
+    @property
+    def fetch_factor(self) -> float:
+        """Fetched work per committed instruction (>= 1 with speculation)."""
+        return 1.0 + self.speculation_overhead
+
+    @classmethod
+    def peak(cls, issue_width: int) -> "CoreActivity":
+        """TDP activity: a power-virus loop sustaining ~80% of the width."""
+        if issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        return cls(
+            ipc=max(1.0, 0.8 * issue_width),
+            duty_cycle=1.0,
+            load_fraction=0.25,
+            store_fraction=0.15,
+            branch_fraction=0.15,
+            fp_fraction=0.30,
+            mul_fraction=0.05,
+            icache_miss_rate=0.0,
+            dcache_miss_rate=0.0,
+            speculation_overhead=0.25,
+        )
+
+
+@dataclass(frozen=True)
+class CacheActivity:
+    """Activity of a shared cache instance (per core-clock cycle)."""
+
+    accesses_per_cycle: float
+    miss_rate: float = 0.1
+    write_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_cycle < 0:
+            raise ValueError("accesses_per_cycle must be non-negative")
+        _check_fraction("miss_rate", self.miss_rate)
+        _check_fraction("write_fraction", self.write_fraction)
+
+    @classmethod
+    def peak(cls, banks: int) -> "CacheActivity":
+        """TDP activity: every bank busy every cycle."""
+        return cls(accesses_per_cycle=float(banks), miss_rate=0.1)
+
+
+@dataclass(frozen=True)
+class NocActivity:
+    """Activity of the on-chip network (per router, per cycle)."""
+
+    flits_per_cycle_per_router: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.flits_per_cycle_per_router < 0:
+            raise ValueError("flit rate must be non-negative")
+
+    @classmethod
+    def peak(cls) -> "NocActivity":
+        """TDP activity: each router moves one flit per cycle."""
+        return cls(flits_per_cycle_per_router=1.0)
+
+
+@dataclass(frozen=True)
+class MemoryControllerActivity:
+    """Activity of the memory controllers (per cycle, all channels)."""
+
+    reads_per_cycle: float = 0.05
+    writes_per_cycle: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.reads_per_cycle < 0 or self.writes_per_cycle < 0:
+            raise ValueError("rates must be non-negative")
+
+    @classmethod
+    def peak(cls, channels: int) -> "MemoryControllerActivity":
+        """TDP activity: bus saturated."""
+        return cls(reads_per_cycle=0.5 * channels,
+                   writes_per_cycle=0.5 * channels)
+
+
+@dataclass(frozen=True)
+class SystemActivity:
+    """Whole-chip activity bundle.
+
+    Attributes:
+        core: Activity of each core (uniform across cores).
+        l2: Activity of each L2 instance.
+        l3: Activity of each L3 instance.
+        noc: NoC activity.
+        memory_controller: MC activity.
+        niu_utilization: Ethernet link utilization in [0, 1].
+        pcie_utilization: PCIe link utilization in [0, 1].
+        little_core: Activity of the little cores on heterogeneous
+            chips; ``None`` leaves their runtime power at zero.
+    """
+
+    core: CoreActivity
+    little_core: CoreActivity | None = None
+    l2: CacheActivity | None = None
+    l3: CacheActivity | None = None
+    noc: NocActivity = field(default_factory=NocActivity)
+    memory_controller: MemoryControllerActivity = field(
+        default_factory=MemoryControllerActivity
+    )
+    niu_utilization: float = 0.1
+    pcie_utilization: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_fraction("niu_utilization", self.niu_utilization)
+        _check_fraction("pcie_utilization", self.pcie_utilization)

@@ -1,0 +1,43 @@
+"""CACTI-style memory array modeling.
+
+This package reimplements the array-modeling methodology McPAT inherits
+from CACTI: an array is partitioned into subarrays (``Ndwl`` wordline
+divisions x ``Ndbl`` bitline divisions, with ``Nspd`` row-packing), each
+subarray has decoders / wordlines / bitlines / sense amplifiers modeled as
+RC circuits, and an internal optimizer searches the partition space for the
+best organization that satisfies the timing target.
+
+Public entry points:
+
+* :class:`ArraySpec` — what the architect specifies (entries, width, ports).
+* :func:`build_array` — runs the organization search, returns a
+  :class:`SramArray` with delay / energy / leakage / area.
+* :class:`CamArray` — content-addressable arrays for fully associative
+  structures (TLBs, issue-queue wakeup, LSQ search).
+* :class:`Cache` — tag + data array assembly.
+"""
+
+from repro.array.spec import ArraySpec, CellType, PortCounts
+from repro.array.array_model import SramArray, build_array
+from repro.array.organization import (
+    ArrayOrganization,
+    OptimizationWeights,
+    search_organizations,
+)
+from repro.array.cam import CamArray
+from repro.array.cache_array import Cache, CacheAccessMode, CacheSpec
+
+__all__ = [
+    "ArraySpec",
+    "CellType",
+    "PortCounts",
+    "SramArray",
+    "build_array",
+    "ArrayOrganization",
+    "OptimizationWeights",
+    "search_organizations",
+    "CamArray",
+    "Cache",
+    "CacheAccessMode",
+    "CacheSpec",
+]

@@ -1,0 +1,172 @@
+"""The internal organization optimizer — McPAT's CACTI-style search.
+
+Given an :class:`~repro.array.spec.ArraySpec`, the search sweeps the
+partitioning space (wordline divisions ``Ndwl``, bitline divisions ``Ndbl``,
+row packing / column mux ``Nspd``), evaluates every tiling that is
+physically sensible, filters by the timing target, and ranks the survivors
+with a weighted objective over delay, energy, leakage, and area — so the
+architect never specifies circuit-level parameters, which is one of the
+paper's headline usability claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.array.spec import ArraySpec
+from repro.tech import Technology
+
+if TYPE_CHECKING:
+    from repro.array.bank import Bank
+
+#: Subarray dimension limits: outside these, peripheral overheads or RC
+#: degradation make the tiling pointless and the model unreliable.
+_MIN_ROWS = 4
+_MAX_ROWS = 1024
+_MIN_COLS = 8
+_MAX_COLS = 4096
+_MAX_SUBARRAYS = 512
+
+#: eDRAM bitlines are charge-shared: beyond this many rows the read
+#: signal margin is gone.
+_MAX_ROWS_EDRAM = 512
+
+_POWERS_OF_TWO = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """One candidate physical organization.
+
+    Attributes:
+        ndwl: Wordline divisions (subarray grid width).
+        ndbl: Bitline divisions (subarray grid height).
+        nspd: Blocks packed per physical row == column mux degree.
+    """
+
+    ndwl: int
+    ndbl: int
+    nspd: int
+
+    def __post_init__(self) -> None:
+        for name in ("ndwl", "ndbl", "nspd"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+
+    def rows_per_subarray(self, spec: ArraySpec) -> int:
+        return spec.entries_per_bank // (self.ndbl * self.nspd)
+
+    def cols_per_subarray(self, spec: ArraySpec) -> int:
+        return spec.width_bits * self.nspd // self.ndwl
+
+    def fits(self, spec: ArraySpec) -> bool:
+        """Whether this organization tiles the spec exactly and sanely."""
+        entries, width = spec.entries_per_bank, spec.width_bits
+        if entries % (self.ndbl * self.nspd):
+            return False
+        if (width * self.nspd) % self.ndwl:
+            return False
+        rows = self.rows_per_subarray(spec)
+        cols = self.cols_per_subarray(spec)
+        if cols % self.nspd:
+            return False  # column mux cannot select evenly
+        max_rows = _MAX_ROWS
+        from repro.array.spec import CellType
+
+        if spec.cell_type is CellType.EDRAM:
+            max_rows = _MAX_ROWS_EDRAM
+        if not _MIN_ROWS <= rows <= max_rows:
+            return False
+        if not _MIN_COLS <= cols <= _MAX_COLS:
+            return False
+        if self.ndwl * self.ndbl > _MAX_SUBARRAYS:
+            return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(Ndwl={self.ndwl}, Ndbl={self.ndbl}, Nspd={self.nspd})"
+
+
+@dataclass(frozen=True)
+class OptimizationWeights:
+    """Relative weights of the organization-ranking objective.
+
+    Each metric is normalized by the best value any candidate achieves, so
+    weights express relative importance, not units.
+    """
+
+    delay: float = 1.0
+    dynamic_energy: float = 1.0
+    leakage: float = 1.0
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        values = (self.delay, self.dynamic_energy, self.leakage, self.area)
+        if any(w < 0 for w in values):
+            raise ValueError("weights must be non-negative")
+        if not any(values):
+            raise ValueError("at least one weight must be positive")
+
+
+def candidate_organizations(spec: ArraySpec) -> Iterator[ArrayOrganization]:
+    """Yield every organization that tiles ``spec``."""
+    for ndwl in _POWERS_OF_TWO:
+        for ndbl in _POWERS_OF_TWO:
+            for nspd in (1, 2, 4, 8):
+                org = ArrayOrganization(ndwl=ndwl, ndbl=ndbl, nspd=nspd)
+                if org.fits(spec):
+                    yield org
+
+
+def search_organizations(
+    tech: Technology,
+    spec: ArraySpec,
+    weights: OptimizationWeights | None = None,
+) -> list["Bank"]:
+    """Evaluate all candidate organizations, best first.
+
+    Candidates that meet the spec's timing targets sort before candidates
+    that do not; within each group the weighted normalized objective ranks
+    them.
+
+    Raises:
+        ValueError: If no organization tiles the spec at all.
+    """
+    from repro.array.bank import Bank
+
+    weights = weights or OptimizationWeights()
+    banks = [
+        Bank(tech=tech, spec=spec, organization=org)
+        for org in candidate_organizations(spec)
+    ]
+    if not banks:
+        raise ValueError(
+            f"no feasible organization for array {spec.name!r} "
+            f"({spec.entries_per_bank} entries x {spec.width_bits} bits)"
+        )
+
+    best_delay = min(b.access_time for b in banks)
+    best_energy = min(b.read_energy for b in banks)
+    best_leak = min(b.leakage_power for b in banks)
+    best_area = min(b.area for b in banks)
+
+    def objective(bank: "Bank") -> float:
+        return (
+            weights.delay * bank.access_time / best_delay
+            + weights.dynamic_energy * bank.read_energy / best_energy
+            + weights.leakage * bank.leakage_power / best_leak
+            + weights.area * bank.area / best_area
+        )
+
+    def meets_timing(bank: "Bank") -> bool:
+        if (spec.target_access_time is not None
+                and bank.access_time > spec.target_access_time):
+            return False
+        if (spec.target_cycle_time is not None
+                and bank.cycle_time > spec.target_cycle_time):
+            return False
+        return True
+
+    return sorted(banks, key=lambda b: (not meets_timing(b), objective(b)))

@@ -1,0 +1,21 @@
+"""Chip-level assembly: results tree, processor model, reports."""
+
+from repro.chip.results import ComponentResult
+from repro.chip.processor import Processor
+from repro.chip.report import format_report
+from repro.chip.export import (
+    compare_results,
+    format_csv,
+    result_to_dict,
+    result_to_json,
+)
+
+__all__ = [
+    "ComponentResult",
+    "Processor",
+    "format_report",
+    "compare_results",
+    "format_csv",
+    "result_to_dict",
+    "result_to_json",
+]

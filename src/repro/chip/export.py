@@ -1,0 +1,123 @@
+"""Structured export of result trees (dict / JSON / CSV rows).
+
+The text report is for humans; downstream tooling (plotting scripts,
+regression dashboards) wants structured output. These helpers flatten a
+:class:`~repro.chip.results.ComponentResult` tree losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.chip.results import ComponentResult
+
+
+def result_to_dict(result: ComponentResult) -> dict[str, Any]:
+    """Convert a result tree to nested JSON-compatible dicts.
+
+    Metrics are the node's *exclusive* values plus inclusive totals, so
+    consumers can use either view without re-walking the tree.
+    """
+    return {
+        "name": result.name,
+        "area_mm2": result.area * 1e6,
+        "peak_dynamic_w": result.peak_dynamic_power,
+        "runtime_dynamic_w": result.runtime_dynamic_power,
+        "leakage_w": result.leakage_power,
+        "runtime_leakage_w": result.effective_runtime_leakage,
+        "total_area_mm2": result.total_area * 1e6,
+        "total_peak_power_w": result.total_peak_power,
+        "total_runtime_power_w": result.total_runtime_power,
+        "children": [result_to_dict(c) for c in result.children],
+    }
+
+
+def result_to_json(result: ComponentResult, indent: int = 2) -> str:
+    """Serialize a result tree to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_to_csv_rows(result: ComponentResult) -> list[dict[str, Any]]:
+    """Flatten a result tree to one row per component.
+
+    Rows carry a ``path`` column (``/``-joined names) so hierarchy
+    survives flattening; values are the inclusive totals.
+    """
+    rows: list[dict[str, Any]] = []
+
+    def walk(node: ComponentResult, prefix: str) -> None:
+        path = f"{prefix}/{node.name}" if prefix else node.name
+        rows.append({
+            "path": path,
+            "area_mm2": node.total_area * 1e6,
+            "peak_dynamic_w": node.total_peak_dynamic_power,
+            "runtime_dynamic_w": node.total_runtime_dynamic_power,
+            "leakage_w": node.total_leakage_power,
+            "runtime_power_w": node.total_runtime_power,
+        })
+        for child in node.children:
+            walk(child, path)
+
+    walk(result, "")
+    return rows
+
+
+def format_csv(result: ComponentResult) -> str:
+    """Render the flattened rows as CSV text."""
+    rows = result_to_csv_rows(result)
+    columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row[column]
+            if isinstance(value, float):
+                cells.append(f"{value:.6g}")
+            else:
+                cells.append(str(value).replace(",", ";"))
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def compare_results(
+    baseline: ComponentResult,
+    candidate: ComponentResult,
+) -> list[dict[str, Any]]:
+    """Diff two chips' top-level breakdowns.
+
+    Matches direct children by name; components present in only one tree
+    appear with the other side at zero. Returns rows of
+    ``{name, metric_baseline, metric_candidate, ratio}`` for TDP-relevant
+    metrics.
+    """
+    names: list[str] = []
+    for tree in (baseline, candidate):
+        for child in tree.children:
+            if child.name not in names:
+                names.append(child.name)
+
+    def lookup(tree: ComponentResult, name: str) -> ComponentResult | None:
+        try:
+            return tree.child(name)
+        except KeyError:
+            return None
+
+    rows: list[dict[str, Any]] = []
+    for name in names:
+        left = lookup(baseline, name)
+        right = lookup(candidate, name)
+        base_power = left.total_peak_power if left else 0.0
+        cand_power = right.total_peak_power if right else 0.0
+        base_area = left.total_area if left else 0.0
+        cand_area = right.total_area if right else 0.0
+        rows.append({
+            "name": name,
+            "peak_power_baseline_w": base_power,
+            "peak_power_candidate_w": cand_power,
+            "power_ratio": (cand_power / base_power
+                            if base_power else float("inf")),
+            "area_baseline_mm2": base_area * 1e6,
+            "area_candidate_mm2": cand_area * 1e6,
+        })
+    return rows

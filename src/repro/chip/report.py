@@ -1,0 +1,61 @@
+"""McPAT-style text report rendering for result trees."""
+
+from __future__ import annotations
+
+from repro.chip.results import ComponentResult
+
+
+def _format_power(watts: float) -> str:
+    if watts >= 1.0:
+        return f"{watts:8.3f} W "
+    if watts >= 1e-3:
+        return f"{watts * 1e3:8.3f} mW"
+    return f"{watts * 1e6:8.3f} uW"
+
+
+def _format_area(m2: float) -> str:
+    mm2 = m2 * 1e6
+    if mm2 >= 0.01:
+        return f"{mm2:9.3f} mm^2"
+    return f"{mm2 * 1e6:9.3f} um^2"
+
+
+def format_report(
+    result: ComponentResult,
+    max_depth: int = 3,
+    include_runtime: bool = True,
+) -> str:
+    """Render a result tree as an indented text report.
+
+    Args:
+        result: Root of the tree (usually from ``Processor.report``).
+        max_depth: Levels of hierarchy to print.
+        include_runtime: Also print the runtime dynamic column.
+    """
+    lines: list[str] = []
+
+    def emit(node: ComponentResult, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{node.name}")
+        lines.append(
+            f"{indent}  Area         = {_format_area(node.total_area)}"
+        )
+        lines.append(
+            f"{indent}  Peak Dynamic = "
+            f"{_format_power(node.total_peak_dynamic_power)}"
+        )
+        if include_runtime:
+            lines.append(
+                f"{indent}  Runtime Dyn  = "
+                f"{_format_power(node.total_runtime_dynamic_power)}"
+            )
+        lines.append(
+            f"{indent}  Leakage      = "
+            f"{_format_power(node.total_leakage_power)}"
+        )
+        if depth < max_depth:
+            for child in node.children:
+                emit(child, depth + 1)
+
+    emit(result, 0)
+    return "\n".join(lines)

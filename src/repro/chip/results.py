@@ -1,0 +1,173 @@
+"""The hierarchical result tree every model level reports into.
+
+A :class:`ComponentResult` node carries the *exclusive* costs of one
+component plus its children; the ``total_*`` properties aggregate
+inclusively, which is what the McPAT-style report prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class ComponentResult:
+    """Power/area results of one component (exclusive of children).
+
+    Attributes:
+        name: Component label (e.g. ``"Instruction Fetch Unit"``).
+        area: Silicon area excluding children (m^2).
+        peak_dynamic_power: Dynamic power at peak (TDP) activity (W).
+        runtime_dynamic_power: Dynamic power under supplied stats (W).
+        leakage_power: Static power (subthreshold + gate) at the design
+            point — the TDP contribution (W).
+        runtime_leakage_power: Static power under the supplied stats,
+            when power gating reduces it below ``leakage_power``;
+            ``None`` means leakage is not gated (the default).
+        children: Sub-component results.
+    """
+
+    name: str
+    area: float = 0.0
+    peak_dynamic_power: float = 0.0
+    runtime_dynamic_power: float = 0.0
+    leakage_power: float = 0.0
+    children: tuple["ComponentResult", ...] = ()
+    runtime_leakage_power: float | None = None
+
+    def __post_init__(self) -> None:
+        for metric in ("area", "peak_dynamic_power",
+                       "runtime_dynamic_power", "leakage_power"):
+            if getattr(self, metric) < 0:
+                raise ValueError(f"{metric} must be non-negative")
+        if (self.runtime_leakage_power is not None
+                and self.runtime_leakage_power < 0):
+            raise ValueError("runtime_leakage_power must be non-negative")
+
+    @property
+    def effective_runtime_leakage(self) -> float:
+        """This node's leakage under runtime conditions (W)."""
+        if self.runtime_leakage_power is not None:
+            return self.runtime_leakage_power
+        return self.leakage_power
+
+    # -- inclusive aggregates -------------------------------------------------
+
+    @property
+    def total_area(self) -> float:
+        """Area including children (m^2)."""
+        return self.area + sum(c.total_area for c in self.children)
+
+    @property
+    def total_peak_dynamic_power(self) -> float:
+        """Peak dynamic power including children (W)."""
+        return self.peak_dynamic_power + sum(
+            c.total_peak_dynamic_power for c in self.children
+        )
+
+    @property
+    def total_runtime_dynamic_power(self) -> float:
+        """Runtime dynamic power including children (W)."""
+        return self.runtime_dynamic_power + sum(
+            c.total_runtime_dynamic_power for c in self.children
+        )
+
+    @property
+    def total_leakage_power(self) -> float:
+        """Leakage including children (W)."""
+        return self.leakage_power + sum(
+            c.total_leakage_power for c in self.children
+        )
+
+    @property
+    def total_runtime_leakage_power(self) -> float:
+        """Runtime leakage incl. children (power gating applied) (W)."""
+        return self.effective_runtime_leakage + sum(
+            c.total_runtime_leakage_power for c in self.children
+        )
+
+    @property
+    def total_peak_power(self) -> float:
+        """Peak dynamic + leakage, the TDP contribution (W)."""
+        return self.total_peak_dynamic_power + self.total_leakage_power
+
+    @property
+    def total_runtime_power(self) -> float:
+        """Runtime dynamic + runtime leakage (W)."""
+        return (self.total_runtime_dynamic_power
+                + self.total_runtime_leakage_power)
+
+    # -- utilities ---------------------------------------------------------------
+
+    def child(self, name: str) -> "ComponentResult":
+        """Return the direct child with ``name``.
+
+        Raises:
+            KeyError: If no such child exists.
+        """
+        for candidate in self.children:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(
+            f"{self.name!r} has no child {name!r}; "
+            f"children: {[c.name for c in self.children]}"
+        )
+
+    def find(self, name: str) -> "ComponentResult":
+        """Depth-first search for a descendant (or self) named ``name``."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        raise KeyError(f"no component named {name!r} under {self.name!r}")
+
+    def walk(self) -> Iterator["ComponentResult"]:
+        """Iterate self and all descendants depth-first."""
+        yield self
+        for candidate in self.children:
+            yield from candidate.walk()
+
+    def scaled(self, factor: float) -> "ComponentResult":
+        """Return a copy with every metric (recursively) multiplied.
+
+        Used to account for N identical instances without re-modeling.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(
+            self,
+            area=self.area * factor,
+            peak_dynamic_power=self.peak_dynamic_power * factor,
+            runtime_dynamic_power=self.runtime_dynamic_power * factor,
+            leakage_power=self.leakage_power * factor,
+            runtime_leakage_power=(
+                None if self.runtime_leakage_power is None
+                else self.runtime_leakage_power * factor
+            ),
+            children=tuple(c.scaled(factor) for c in self.children),
+        )
+
+    def with_leakage_gating(self, retained: float) -> "ComponentResult":
+        """Return a copy with runtime leakage scaled to ``retained``.
+
+        Applied recursively: every node's runtime leakage becomes
+        ``retained * leakage_power`` — the effect of sleep transistors
+        cutting the rails of an idle block.
+
+        Raises:
+            ValueError: If ``retained`` is outside [0, 1].
+        """
+        if not 0.0 <= retained <= 1.0:
+            raise ValueError("retained fraction must be within [0, 1]")
+        return replace(
+            self,
+            runtime_leakage_power=self.leakage_power * retained,
+            children=tuple(
+                c.with_leakage_gating(retained) for c in self.children
+            ),
+        )
+
+
+def combine(name: str, children: list[ComponentResult]) -> ComponentResult:
+    """Group results under a parent with no exclusive costs of its own."""
+    return ComponentResult(name=name, children=tuple(children))

@@ -1,0 +1,149 @@
+"""Optimally repeated wires.
+
+Long on-chip wires (H-trees, buses, NoC links, result buses) are broken
+into segments driven by repeaters. :class:`RepeatedWire` numerically
+co-optimizes the repeater size and spacing for minimum delay (optionally
+backing off for energy, as McPAT's interconnect model does with its
+"aggressive/conservative" knobs) and reports per-length delay, energy,
+leakage, and repeater area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.circuit.gates import Gate, GateKind
+from repro.tech import Technology
+from repro.tech.wire import WireParameters, WireType
+
+
+@dataclass(frozen=True)
+class RepeatedWire:
+    """A repeated wire of a given plane at one technology point.
+
+    Attributes:
+        tech: Technology operating point.
+        wire_type: Which wiring plane the signal routes on.
+        delay_penalty: >= 1.0; allow this multiple of the minimum achievable
+            delay in exchange for smaller/sparser (cheaper) repeaters.
+    """
+
+    tech: Technology
+    wire_type: WireType = WireType.GLOBAL
+    delay_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay_penalty < 1.0:
+            raise ValueError("delay penalty must be >= 1.0")
+
+    @cached_property
+    def wire(self) -> WireParameters:
+        return self.tech.wire(self.wire_type)
+
+    def _segment_delay(self, size: float, spacing: float) -> float:
+        """Delay of one repeater + wire segment (s)."""
+        gate = Gate(self.tech, GateKind.INV, size=size)
+        r_w = self.wire.resistance_per_length * spacing
+        c_w = self.wire.capacitance_per_length * spacing
+        # Driver charges its own parasitics, the wire, and the next gate.
+        driver = gate.delay(c_w + gate.input_capacitance)
+        wire_term = r_w * (0.38 * c_w + 0.69 * gate.input_capacitance)
+        return driver + wire_term
+
+    @cached_property
+    def _optimum(self) -> tuple[float, float, float]:
+        """(size, spacing, delay_per_length) at the chosen design point."""
+        best: tuple[float, float, float] | None = None
+        # Log-spaced sweep is robust across nodes and planes.
+        sizes = [2.0**k for k in range(0, 10)]
+        spacings = [10e-6 * 2.0**k for k in range(0, 10)]  # 10um .. 5mm
+        for size in sizes:
+            for spacing in spacings:
+                delay_per_length = self._segment_delay(size, spacing) / spacing
+                if best is None or delay_per_length < best[2]:
+                    best = (size, spacing, delay_per_length)
+        assert best is not None
+        if self.delay_penalty == 1.0:
+            return best
+        # Energy back-off: among design points within the delay budget,
+        # pick the one with the lowest repeater capacitance per length.
+        budget = best[2] * self.delay_penalty
+        cheapest = best
+        cheapest_cost = math.inf
+        for size in sizes:
+            for spacing in spacings:
+                delay_per_length = self._segment_delay(size, spacing) / spacing
+                if delay_per_length > budget:
+                    continue
+                cost = size / spacing  # repeater width per meter
+                if cost < cheapest_cost:
+                    cheapest_cost = cost
+                    cheapest = (size, spacing, delay_per_length)
+        return cheapest
+
+    @property
+    def repeater_size(self) -> float:
+        """Chosen repeater drive strength (min-inverter multiples)."""
+        return self._optimum[0]
+
+    @property
+    def repeater_spacing(self) -> float:
+        """Chosen distance between repeaters (m)."""
+        return self._optimum[1]
+
+    @property
+    def delay_per_length(self) -> float:
+        """Signal velocity figure (s/m)."""
+        return self._optimum[2]
+
+    def delay(self, length: float) -> float:
+        """Propagation delay over ``length`` meters (s)."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self.delay_per_length * length
+
+    @cached_property
+    def _repeater_gate(self) -> Gate:
+        return Gate(self.tech, GateKind.INV, size=self.repeater_size)
+
+    @cached_property
+    def energy_per_length(self) -> float:
+        """Dynamic energy per transition per meter of wire (J/m)."""
+        gate = self._repeater_gate
+        wire_energy = (
+            self.wire.capacitance_per_length * self.tech.vdd**2
+        )
+        repeater_energy = (
+            gate.switching_energy(0.0) / self.repeater_spacing
+        )
+        return wire_energy + repeater_energy
+
+    def energy(self, length: float) -> float:
+        """Dynamic energy of one transition across ``length`` meters (J)."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self.energy_per_length * length
+
+    @cached_property
+    def leakage_power_per_length(self) -> float:
+        """Static power of the repeaters per meter (W/m)."""
+        return self._repeater_gate.leakage_power / self.repeater_spacing
+
+    def leakage_power(self, length: float) -> float:
+        """Static power of the repeaters along ``length`` meters (W)."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self.leakage_power_per_length * length
+
+    @cached_property
+    def repeater_area_per_length(self) -> float:
+        """Silicon area of the repeaters per meter (m^2/m)."""
+        return self._repeater_gate.area / self.repeater_spacing
+
+    def repeater_area(self, length: float) -> float:
+        """Repeater silicon area along ``length`` meters (m^2)."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self.repeater_area_per_length * length

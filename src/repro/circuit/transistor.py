@@ -1,0 +1,57 @@
+"""Per-transistor electrical helpers.
+
+Thin functional layer translating a :class:`~repro.tech.Technology` plus a
+transistor width into the R/C/leakage numbers the gate and array models are
+assembled from.
+"""
+
+from __future__ import annotations
+
+from repro.tech import Technology
+
+
+def _check_width(width: float) -> None:
+    if width <= 0:
+        raise ValueError(f"transistor width must be positive, got {width}")
+
+
+def gate_capacitance(tech: Technology, width: float) -> float:
+    """Gate capacitance (intrinsic + fringe) of a device (F)."""
+    _check_width(width)
+    return tech.device.c_gate_total * width
+
+
+def drain_capacitance(tech: Technology, width: float) -> float:
+    """Source/drain junction capacitance of a device (F)."""
+    _check_width(width)
+    return tech.device.c_junction * width
+
+
+def on_resistance(tech: Technology, width: float) -> float:
+    """Effective switching on-resistance of an NMOS device (ohm)."""
+    _check_width(width)
+    return tech.device.r_on_per_width / width
+
+
+def subthreshold_leakage_power(
+    tech: Technology, nmos_width: float, *, long_channel: bool = False
+) -> float:
+    """Subthreshold leakage power of one NMOS device at Vdd (W).
+
+    Args:
+        tech: Technology operating point (temperature included).
+        nmos_width: Device width (m).
+        long_channel: Apply the long-channel leakage reduction used for
+            non-timing-critical peripheral devices.
+    """
+    _check_width(nmos_width)
+    power = tech.device.i_off * nmos_width * tech.vdd
+    if long_channel:
+        power *= tech.device.long_channel_leakage_reduction
+    return power
+
+
+def gate_leakage_power(tech: Technology, width: float) -> float:
+    """Gate-oxide tunneling leakage power of one device (W)."""
+    _check_width(width)
+    return tech.device.i_gate * width * tech.vdd

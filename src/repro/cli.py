@@ -1,0 +1,144 @@
+"""Command-line interface: ``mcpat-repro``.
+
+Subcommands mirror how the original tool is used:
+
+* ``report <preset|config.json>`` — model a chip and print the
+  McPAT-style breakdown.
+* ``validate`` — run the published-vs-modeled validation tables.
+* ``scaling`` — the technology-scaling sweep.
+* ``clustering`` — the 22 nm manycore clustering case study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.chip import Processor, format_report
+from repro.config import load_system_config, presets
+
+
+def _resolve_config(source: str):
+    if source in presets.VALIDATION_PRESETS:
+        return presets.VALIDATION_PRESETS[source]()
+    path = Path(source)
+    if path.exists():
+        return load_system_config(path)
+    known = ", ".join(presets.VALIDATION_PRESETS)
+    raise SystemExit(
+        f"unknown config {source!r}: not a preset ({known}) nor a file"
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _resolve_config(args.config)
+    processor = Processor(config)
+    print(format_report(
+        processor.report(), max_depth=args.depth, include_runtime=False,
+    ))
+    print()
+    print(f"TDP  = {processor.tdp:.1f} W")
+    print(f"Area = {processor.area * 1e6:.1f} mm^2")
+    for name, cycles in processor.timing_summary().items():
+        print(f"{name:<22} = {cycles:.2f} cycles")
+    return 0
+
+
+def _cmd_validate(_: argparse.Namespace) -> int:
+    from repro.experiments import format_validation_table, run_validation
+
+    print(format_validation_table(run_validation()))
+    return 0
+
+
+def _cmd_scaling(_: argparse.Namespace) -> int:
+    from repro.experiments.tech_scaling import (
+        format_scaling_table,
+        run_tech_scaling,
+    )
+
+    print(format_scaling_table(run_tech_scaling()))
+    return 0
+
+
+def _cmd_clustering(args: argparse.Namespace) -> int:
+    from repro.experiments.clustering import (
+        format_clustering_table,
+        run_clustering_study,
+    )
+
+    points = run_clustering_study(n_cores=args.cores)
+    print(format_clustering_table(points))
+    return 0
+
+
+def _cmd_dvfs(args: argparse.Namespace) -> int:
+    from repro.experiments.dvfs import format_dvfs_table, run_dvfs_study
+
+    base = _resolve_config(args.config) if args.config else None
+    print(format_dvfs_table(run_dvfs_study(base_config=base)))
+    return 0
+
+
+def _cmd_pipeline(_: argparse.Namespace) -> int:
+    from repro.experiments.pipeline_depth import (
+        format_pipeline_table,
+        run_pipeline_depth_study,
+    )
+
+    print(format_pipeline_table(run_pipeline_depth_study()))
+    return 0
+
+
+def _cmd_manycore(_: argparse.Namespace) -> int:
+    from repro.experiments.manycore_scaling import (
+        format_scaling_points,
+        run_manycore_scaling,
+    )
+
+    print(format_scaling_points(run_manycore_scaling()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``mcpat-repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="mcpat-repro",
+        description="McPAT reproduction: power/area/timing modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="model a chip, print breakdown")
+    report.add_argument("config", help="preset name or config JSON path")
+    report.add_argument("--depth", type=int, default=2)
+    report.set_defaults(func=_cmd_report)
+
+    validate = sub.add_parser("validate", help="published-vs-modeled tables")
+    validate.set_defaults(func=_cmd_validate)
+
+    scaling = sub.add_parser("scaling", help="technology scaling sweep")
+    scaling.set_defaults(func=_cmd_scaling)
+
+    clustering = sub.add_parser("clustering", help="clustering case study")
+    clustering.add_argument("--cores", type=int, default=64)
+    clustering.set_defaults(func=_cmd_clustering)
+
+    dvfs = sub.add_parser("dvfs", help="voltage/frequency scaling study")
+    dvfs.add_argument("config", nargs="?", default=None,
+                      help="preset or JSON (default: niagara2)")
+    dvfs.set_defaults(func=_cmd_dvfs)
+
+    pipeline = sub.add_parser("pipeline", help="pipeline depth study")
+    pipeline.set_defaults(func=_cmd_pipeline)
+
+    manycore = sub.add_parser("manycore",
+                              help="max cores per node under budgets")
+    manycore.set_defaults(func=_cmd_manycore)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

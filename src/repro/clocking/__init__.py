@@ -1,0 +1,5 @@
+"""Clock distribution network model."""
+
+from repro.clocking.clock_network import ClockNetwork
+
+__all__ = ["ClockNetwork"]

@@ -1,0 +1,39 @@
+"""Architecture-level configuration schema and validated presets.
+
+The schema mirrors McPAT's XML input at the same abstraction level: the
+user describes cores, caches, NoC, and memory controllers architecturally;
+every circuit-level decision is derived by the tool.
+"""
+
+from repro.config.schema import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    CoreConfig,
+    LinkSignaling,
+    MemoryControllerConfig,
+    NiuConfig,
+    NocConfig,
+    NocTopology,
+    PcieConfig,
+    SharedCacheConfig,
+    SystemConfig,
+)
+from repro.config.loader import load_system_config, save_system_config
+from repro.config import presets
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheGeometry",
+    "CoreConfig",
+    "LinkSignaling",
+    "MemoryControllerConfig",
+    "NiuConfig",
+    "NocConfig",
+    "NocTopology",
+    "PcieConfig",
+    "SharedCacheConfig",
+    "SystemConfig",
+    "load_system_config",
+    "save_system_config",
+    "presets",
+]

@@ -1,0 +1,100 @@
+"""JSON persistence for :class:`~repro.config.schema.SystemConfig`.
+
+McPAT consumes an XML description; this reproduction uses JSON with the
+same information content. Round-tripping is exact: ``load(save(cfg)) ==
+cfg``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.config.schema import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    CoreConfig,
+    LinkSignaling,
+    MemoryControllerConfig,
+    NiuConfig,
+    NocConfig,
+    NocTopology,
+    PcieConfig,
+    SharedCacheConfig,
+    SystemConfig,
+)
+from repro.tech import DeviceType
+
+
+def _to_dict(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _to_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, (NocTopology, DeviceType, LinkSignaling)):
+        return obj.value
+    if isinstance(obj, tuple):
+        return [_to_dict(v) for v in obj]
+    return obj
+
+
+def system_config_to_dict(config: SystemConfig) -> dict[str, Any]:
+    """Serialize a system config to plain JSON-compatible types."""
+    return _to_dict(config)
+
+
+def system_config_from_dict(data: dict[str, Any]) -> SystemConfig:
+    """Reconstruct a system config from :func:`system_config_to_dict` output.
+
+    Raises:
+        KeyError / TypeError / ValueError: On malformed input; the schema
+        validators run on construction.
+    """
+    def build_core(core: dict[str, Any]) -> CoreConfig:
+        core = dict(core)
+        core["icache"] = CacheGeometry(**core["icache"])
+        core["dcache"] = CacheGeometry(**core["dcache"])
+        if core.get("branch_predictor") is not None:
+            core["branch_predictor"] = BranchPredictorConfig(
+                **core["branch_predictor"]
+            )
+        return CoreConfig(**core)
+
+    data = dict(data)
+    data["core"] = build_core(data["core"])
+    if data.get("little_core") is not None:
+        data["little_core"] = build_core(data["little_core"])
+    data["device_type"] = DeviceType(data.get("device_type", "hp"))
+    if data.get("l2") is not None:
+        data["l2"] = SharedCacheConfig(**data["l2"])
+    if data.get("l3") is not None:
+        data["l3"] = SharedCacheConfig(**data["l3"])
+    noc = dict(data.get("noc", {}))
+    if "topology" in noc:
+        noc["topology"] = NocTopology(noc["topology"])
+    if "link_signaling" in noc:
+        noc["link_signaling"] = LinkSignaling(noc["link_signaling"])
+    data["noc"] = NocConfig(**noc)
+    data["memory_controller"] = MemoryControllerConfig(
+        **data.get("memory_controller", {})
+    )
+    if data.get("niu") is not None:
+        data["niu"] = NiuConfig(**data["niu"])
+    if data.get("pcie") is not None:
+        data["pcie"] = PcieConfig(**data["pcie"])
+    return SystemConfig(**data)
+
+
+def save_system_config(config: SystemConfig, path: str | Path) -> None:
+    """Write a system config as JSON."""
+    Path(path).write_text(
+        json.dumps(system_config_to_dict(config), indent=2) + "\n"
+    )
+
+
+def load_system_config(path: str | Path) -> SystemConfig:
+    """Read a system config from JSON written by :func:`save_system_config`."""
+    return system_config_from_dict(json.loads(Path(path).read_text()))

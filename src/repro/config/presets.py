@@ -1,0 +1,333 @@
+"""Validated processor presets — the paper's Table 1 configurations.
+
+McPAT validates against four commercial processors spanning in-order
+multithreaded CMPs and aggressive OOO designs across four technology
+nodes:
+
+* Sun **Niagara** (UltraSPARC T1), 90 nm, 1.2 GHz — 8 simple in-order
+  cores x 4 threads, shared 3 MB L2, core-to-L2 crossbar.
+* Sun **Niagara2** (UltraSPARC T2), 65 nm, 1.4 GHz — 8 cores x 8 threads,
+  dual-issue, per-core FPU, 4 MB L2, crossbar.
+* DEC/Compaq **Alpha 21364**, 180 nm, 1.2 GHz — one aggressive OOO core
+  (21264-class) with on-chip 1.75 MB L2, router, two memory controllers.
+* Intel **Xeon Tulsa** (7100 series), 65 nm, 3.4 GHz — two NetBurst-class
+  x86 OOO cores with a shared 16 MB L3.
+
+Parameters follow the public record of each design; where a structure
+size was never published, a representative value of the microarchitecture
+class is used (marked with a comment).
+"""
+
+from __future__ import annotations
+
+from repro.config.schema import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    CoreConfig,
+    MemoryControllerConfig,
+    NiuConfig,
+    NocConfig,
+    NocTopology,
+    PcieConfig,
+    SharedCacheConfig,
+    SystemConfig,
+)
+from repro.units import KB, MB
+
+
+def niagara1() -> SystemConfig:
+    """Sun Niagara (UltraSPARC T1) at 90 nm, 1.2 GHz."""
+    core = CoreConfig(
+        name="niagara1-core",
+        is_ooo=False,
+        hardware_threads=4,
+        arch_int_regs=120,  # SPARC register windows (8 windows/thread)
+        fetch_width=1,
+        decode_width=1,
+        issue_width=1,
+        commit_width=1,
+        pipeline_stages=6,
+        int_alus=1,
+        fpus=0,  # one FPU shared chip-wide; excluded from the per-core model
+        mul_divs=1,
+        load_queue_entries=8,
+        store_queue_entries=8,
+        itlb_entries=64,
+        dtlb_entries=64,
+        instruction_buffer_entries=8,
+        icache=CacheGeometry(capacity_bytes=16 * KB, block_bytes=32,
+                             associativity=4, mshr_entries=2),
+        dcache=CacheGeometry(capacity_bytes=8 * KB, block_bytes=16,
+                             associativity=4, mshr_entries=4),
+        branch_predictor=None,  # T1 has no dynamic branch predictor
+        virtual_address_bits=48,
+        physical_address_bits=40,
+    )
+    return SystemConfig(
+        name="Niagara (UltraSPARC T1)",
+        node_nm=90,
+        clock_hz=1.2e9,
+        n_cores=8,
+        core=core,
+        temperature_k=360.0,
+        l2=SharedCacheConfig(
+            name="L2", capacity_bytes=3 * MB, block_bytes=64,
+            associativity=12, banks=4, instances=1, directory_sharers=8,
+        ),
+        noc=NocConfig(topology=NocTopology.CROSSBAR, flit_bits=128),
+        memory_controller=MemoryControllerConfig(
+            channels=4, data_bus_bits=128, peak_transfer_rate_mts=400,
+        ),
+        io_area_fraction=0.28,  # JBUS, DDR2 pads, test/misc periphery
+        io_peak_power_w=7.0,
+    )
+
+
+def niagara2() -> SystemConfig:
+    """Sun Niagara2 (UltraSPARC T2) at 65 nm, 1.4 GHz."""
+    core = CoreConfig(
+        name="niagara2-core",
+        is_ooo=False,
+        hardware_threads=8,
+        arch_int_regs=120,  # SPARC register windows
+        fetch_width=2,
+        decode_width=2,
+        issue_width=2,
+        commit_width=2,
+        pipeline_stages=8,
+        int_alus=2,
+        fpus=1,
+        mul_divs=1,
+        load_queue_entries=8,
+        store_queue_entries=8,
+        itlb_entries=64,
+        dtlb_entries=128,
+        instruction_buffer_entries=8,
+        icache=CacheGeometry(capacity_bytes=16 * KB, block_bytes=32,
+                             associativity=8, mshr_entries=2),
+        dcache=CacheGeometry(capacity_bytes=8 * KB, block_bytes=16,
+                             associativity=4, mshr_entries=4),
+        branch_predictor=None,
+        virtual_address_bits=48,
+        physical_address_bits=40,
+    )
+    return SystemConfig(
+        name="Niagara2 (UltraSPARC T2)",
+        node_nm=65,
+        clock_hz=1.4e9,
+        n_cores=8,
+        core=core,
+        temperature_k=360.0,
+        l2=SharedCacheConfig(
+            name="L2", capacity_bytes=4 * MB, block_bytes=64,
+            associativity=16, banks=8, instances=1, directory_sharers=8,
+        ),
+        noc=NocConfig(topology=NocTopology.CROSSBAR, flit_bits=128),
+        memory_controller=MemoryControllerConfig(
+            channels=4, data_bus_bits=64, peak_transfer_rate_mts=800,
+        ),
+        niu=NiuConfig(ports=2, bandwidth_gbps=10.0),  # dual on-die 10GbE
+        pcie=PcieConfig(lanes=8, gen=1),
+        io_area_fraction=0.24,  # FBDIMM I/O, pads, test periphery
+        io_peak_power_w=5.0,
+    )
+
+
+def alpha21364() -> SystemConfig:
+    """Alpha 21364 (EV7) at 180 nm, 1.2 GHz."""
+    core = CoreConfig(
+        name="alpha-ev68-core",
+        is_ooo=True,
+        hardware_threads=1,
+        fetch_width=4,
+        decode_width=4,
+        issue_width=6,  # 4 int + 2 fp pipes
+        commit_width=4,
+        pipeline_stages=7,
+        int_alus=4,
+        fpus=2,
+        mul_divs=1,
+        arch_int_regs=32,
+        arch_fp_regs=32,
+        phys_int_regs=80,
+        phys_fp_regs=72,
+        rob_entries=80,
+        issue_window_entries=20,
+        fp_issue_window_entries=15,
+        load_queue_entries=32,
+        store_queue_entries=32,
+        itlb_entries=128,
+        dtlb_entries=128,
+        instruction_buffer_entries=16,
+        icache=CacheGeometry(capacity_bytes=64 * KB, block_bytes=64,
+                             associativity=2, mshr_entries=8),
+        dcache=CacheGeometry(capacity_bytes=64 * KB, block_bytes=64,
+                             associativity=2, mshr_entries=16),
+        branch_predictor=BranchPredictorConfig(
+            btb_entries=2048, global_entries=4096, local_entries=1024,
+            chooser_entries=4096, ras_entries=32,
+        ),
+        virtual_address_bits=48,
+        physical_address_bits=44,
+    )
+    return SystemConfig(
+        name="Alpha 21364 (EV7)",
+        node_nm=180,
+        clock_hz=1.2e9,
+        n_cores=1,
+        core=core,
+        temperature_k=360.0,
+        l2=SharedCacheConfig(
+            name="L2", capacity_bytes=1792 * KB, block_bytes=64,
+            associativity=7, banks=8, instances=1, directory_sharers=0,
+        ),
+        # EV7's router connects up to 128 chips in a 2D torus; modeled as
+        # a single heavily-buffered router + links.
+        noc=NocConfig(topology=NocTopology.RING, flit_bits=64,
+                      virtual_channels=4, buffer_depth=8,
+                      external_ports=4),  # N/S/E/W torus links
+        memory_controller=MemoryControllerConfig(
+            channels=2, data_bus_bits=64, peak_transfer_rate_mts=800,
+        ),
+        io_area_fraction=0.10,  # inter-processor router pads, RDRAM I/O
+        io_peak_power_w=12.0,
+    )
+
+
+def xeon_tulsa() -> SystemConfig:
+    """Intel Xeon Tulsa (7100) at 65 nm, 3.4 GHz."""
+    core = CoreConfig(
+        name="tulsa-netburst-core",
+        is_ooo=True,
+        is_x86=True,
+        hardware_threads=2,
+        fetch_width=3,
+        decode_width=3,
+        issue_width=3,
+        commit_width=3,
+        pipeline_stages=31,  # NetBurst's famously deep pipeline
+        int_alus=3,
+        fpus=2,
+        mul_divs=1,
+        arch_int_regs=16,
+        arch_fp_regs=16,
+        phys_int_regs=128,
+        phys_fp_regs=128,
+        rob_entries=126,
+        issue_window_entries=32,
+        fp_issue_window_entries=32,
+        load_queue_entries=48,
+        store_queue_entries=32,
+        itlb_entries=128,
+        dtlb_entries=64,
+        instruction_buffer_entries=32,
+        icache=CacheGeometry(capacity_bytes=16 * KB, block_bytes=64,
+                             associativity=8, mshr_entries=8),
+        dcache=CacheGeometry(capacity_bytes=16 * KB, block_bytes=64,
+                             associativity=8, mshr_entries=8),
+        branch_predictor=BranchPredictorConfig(
+            btb_entries=4096, global_entries=4096, local_entries=2048,
+            chooser_entries=4096, ras_entries=16,
+        ),
+        virtual_address_bits=48,
+        physical_address_bits=40,
+    )
+    return SystemConfig(
+        name="Xeon Tulsa (7100)",
+        node_nm=65,
+        clock_hz=3.4e9,
+        n_cores=2,
+        core=core,
+        temperature_k=360.0,
+        # Private 1MB L2 per core.
+        l2=SharedCacheConfig(
+            name="L2", capacity_bytes=1 * MB, block_bytes=64,
+            associativity=8, banks=2, instances=2,
+        ),
+        l3=SharedCacheConfig(
+            name="L3", capacity_bytes=16 * MB, block_bytes=64,
+            associativity=16, banks=8, instances=1, directory_sharers=2,
+        ),
+        noc=NocConfig(topology=NocTopology.BUS, flit_bits=256),
+        memory_controller=MemoryControllerConfig(
+            channels=0, data_bus_bits=64,  # FSB chip: MC lives off-die
+        ),
+        io_area_fraction=0.22,  # dual FSB interfaces and pads
+        io_peak_power_w=10.0,
+    )
+
+
+def manycore_cluster(
+    n_cores: int = 64,
+    cores_per_cluster: int = 4,
+    node_nm: int = 22,
+    clock_hz: float = 2.0e9,
+) -> SystemConfig:
+    """The case-study chip: Niagara2-like cores at 22 nm with clustering.
+
+    ``cores_per_cluster`` cores share one L2 instance; clusters are the
+    NoC endpoints (a 2D mesh), so larger clusters mean a smaller network.
+
+    Raises:
+        ValueError: If ``n_cores`` is not divisible by ``cores_per_cluster``.
+    """
+    if n_cores % cores_per_cluster:
+        raise ValueError(
+            f"n_cores ({n_cores}) must be divisible by cores_per_cluster "
+            f"({cores_per_cluster})"
+        )
+    n_clusters = n_cores // cores_per_cluster
+    core = CoreConfig(
+        name="manycore-core",
+        is_ooo=False,
+        hardware_threads=4,
+        fetch_width=2,
+        decode_width=2,
+        issue_width=2,
+        commit_width=2,
+        pipeline_stages=8,
+        int_alus=2,
+        fpus=1,
+        mul_divs=1,
+        load_queue_entries=8,
+        store_queue_entries=8,
+        icache=CacheGeometry(capacity_bytes=16 * KB, block_bytes=32,
+                             associativity=8),
+        dcache=CacheGeometry(capacity_bytes=8 * KB, block_bytes=16,
+                             associativity=4),
+        branch_predictor=None,
+    )
+    return SystemConfig(
+        name=(
+            f"22nm manycore ({n_cores} cores, "
+            f"{cores_per_cluster}/cluster)"
+        ),
+        node_nm=node_nm,
+        clock_hz=clock_hz,
+        n_cores=n_cores,
+        core=core,
+        temperature_k=360.0,
+        l2=SharedCacheConfig(
+            name="L2",
+            capacity_bytes=cores_per_cluster * 512 * KB,
+            block_bytes=64,
+            associativity=8,
+            banks=4,  # fixed banking: big clusters contend for ports
+            instances=n_clusters,
+            directory_sharers=cores_per_cluster,
+        ),
+        noc=NocConfig(topology=NocTopology.MESH_2D, flit_bits=128,
+                      virtual_channels=2, buffer_depth=4),
+        memory_controller=MemoryControllerConfig(
+            channels=4, data_bus_bits=64, peak_transfer_rate_mts=3200,
+        ),
+    )
+
+
+#: All validation presets keyed by short name.
+VALIDATION_PRESETS = {
+    "niagara1": niagara1,
+    "niagara2": niagara2,
+    "alpha21364": alpha21364,
+    "xeon_tulsa": xeon_tulsa,
+}

@@ -1,0 +1,26 @@
+"""Core-level architecture models.
+
+A core is assembled from an instruction fetch unit, a memory management
+unit, an execution unit, a load/store unit, and — for out-of-order cores —
+a renaming unit and a dynamic scheduler, plus pipeline-register overhead.
+Each unit builds its arrays through the internal optimizer and reports a
+:class:`~repro.chip.results.ComponentResult` subtree.
+"""
+
+from repro.core.core import Core
+from repro.core.ifu import InstructionFetchUnit
+from repro.core.mmu import MemoryManagementUnit
+from repro.core.exu import ExecutionUnit
+from repro.core.lsu import LoadStoreUnit
+from repro.core.renaming import RenamingUnit
+from repro.core.scheduler import DynamicScheduler
+
+__all__ = [
+    "Core",
+    "InstructionFetchUnit",
+    "MemoryManagementUnit",
+    "ExecutionUnit",
+    "LoadStoreUnit",
+    "RenamingUnit",
+    "DynamicScheduler",
+]

@@ -1,0 +1,75 @@
+"""Experiment drivers reproducing the paper's tables and figures.
+
+Each module regenerates one evaluation artifact (see DESIGN.md §4):
+
+* :mod:`repro.experiments.validation` — Tables T1-T5 and the area figure
+  (four commercial processors, published vs. modeled).
+* :mod:`repro.experiments.tech_scaling` — the technology-scaling figure.
+* :mod:`repro.experiments.clustering` — the 22 nm manycore clustering
+  case study (F-C1..F-C4).
+"""
+
+from repro.experiments.published import PUBLISHED, PublishedChip
+from repro.experiments.validation import (
+    ValidationRow,
+    format_validation_table,
+    run_validation,
+)
+from repro.experiments.tech_scaling import (
+    ScalingRow,
+    format_scaling_table,
+    run_tech_scaling,
+)
+from repro.experiments.clustering import (
+    ClusterPoint,
+    format_clustering_table,
+    optimal_cluster_size,
+    run_clustering_study,
+)
+from repro.experiments.dvfs import (
+    DvfsPoint,
+    format_dvfs_table,
+    run_dvfs_study,
+)
+from repro.experiments.temperature import (
+    TemperaturePoint,
+    format_temperature_table,
+    run_temperature_study,
+)
+from repro.experiments.pipeline_depth import (
+    PipelinePoint,
+    format_pipeline_table,
+    run_pipeline_depth_study,
+)
+from repro.experiments.manycore_scaling import (
+    ScalingPoint as ManycoreScalingPoint,
+    format_scaling_points,
+    run_manycore_scaling,
+)
+
+__all__ = [
+    "PUBLISHED",
+    "PublishedChip",
+    "ValidationRow",
+    "format_validation_table",
+    "run_validation",
+    "ScalingRow",
+    "format_scaling_table",
+    "run_tech_scaling",
+    "ClusterPoint",
+    "format_clustering_table",
+    "optimal_cluster_size",
+    "run_clustering_study",
+    "DvfsPoint",
+    "format_dvfs_table",
+    "run_dvfs_study",
+    "TemperaturePoint",
+    "format_temperature_table",
+    "run_temperature_study",
+    "PipelinePoint",
+    "format_pipeline_table",
+    "run_pipeline_depth_study",
+    "ManycoreScalingPoint",
+    "format_scaling_points",
+    "run_manycore_scaling",
+]

@@ -1,0 +1,108 @@
+"""DVFS / energy-per-instruction study (extension experiment F-V).
+
+One of McPAT's motivating metrics is energy per instruction (EPI). This
+extension sweeps the supply voltage of a chip, scales the clock with the
+achievable-frequency law, and reports throughput, power, and EPI at each
+operating point — the classic voltage/frequency-scaling curve where EPI
+falls super-linearly as Vdd drops while throughput falls roughly
+linearly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.chip import Processor
+from repro.config import presets
+from repro.config.schema import SystemConfig
+from repro.perf import MulticoreSimulator, SPLASH2_PROFILES, Workload
+from repro.tech import Technology
+
+#: Relative supply points swept (fractions of nominal Vdd).
+DEFAULT_VOLTAGE_POINTS = (0.80, 0.90, 1.00, 1.10)
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One voltage/frequency operating point.
+
+    Attributes:
+        vdd_v: Supply voltage.
+        clock_hz: Scaled clock.
+        throughput_gips: Chip throughput on the study workload.
+        power_w: Runtime power (dynamic + leakage).
+        tdp_w: Peak power at this operating point.
+    """
+
+    vdd_v: float
+    clock_hz: float
+    throughput_gips: float
+    power_w: float
+    tdp_w: float
+
+    @property
+    def epi_nj(self) -> float:
+        """Energy per instruction (nJ)."""
+        return self.power_w / (self.throughput_gips * 1e9) * 1e9
+
+
+def run_dvfs_study(
+    base_config: SystemConfig | None = None,
+    workload: Workload | None = None,
+    voltage_points: tuple[float, ...] = DEFAULT_VOLTAGE_POINTS,
+) -> list[DvfsPoint]:
+    """Sweep relative supply points for one chip and workload.
+
+    Args:
+        base_config: Chip at its nominal operating point (defaults to the
+            Niagara2 preset).
+        workload: Study workload (defaults to 'barnes').
+        voltage_points: Relative Vdd multipliers to evaluate.
+    """
+    base_config = base_config or presets.niagara2()
+    workload = workload or SPLASH2_PROFILES["barnes"]
+
+    nominal_tech = Technology(
+        node_nm=base_config.node_nm,
+        temperature_k=base_config.temperature_k,
+        device_type=base_config.device_type,
+    )
+    nominal_vdd = nominal_tech.vdd
+
+    points: list[DvfsPoint] = []
+    for relative in voltage_points:
+        vdd = relative * nominal_vdd
+        scale = nominal_tech.at_voltage(vdd).max_clock_scale
+        config = dataclasses.replace(
+            base_config,
+            vdd_v=vdd,
+            clock_hz=base_config.clock_hz * scale,
+        )
+        processor = Processor(config)
+        result = MulticoreSimulator(processor).run(workload)
+        power = processor.report(result.activity).total_runtime_power
+        points.append(DvfsPoint(
+            vdd_v=vdd,
+            clock_hz=config.clock_hz,
+            throughput_gips=result.throughput_ips / 1e9,
+            power_w=power,
+            tdp_w=processor.tdp,
+        ))
+    return points
+
+
+def format_dvfs_table(points: list[DvfsPoint]) -> str:
+    """Render the DVFS study as text."""
+    lines = [
+        f"{'Vdd V':>6} {'clock GHz':>10} {'GIPS':>7} {'power W':>8} "
+        f"{'TDP W':>7} {'EPI nJ':>7}",
+        "-" * 50,
+    ]
+    for p in points:
+        lines.append(
+            f"{p.vdd_v:>6.2f} {p.clock_hz / 1e9:>10.2f} "
+            f"{p.throughput_gips:>7.1f} {p.power_w:>8.1f} "
+            f"{p.tdp_w:>7.1f} {p.epi_nj:>7.2f}"
+        )
+    return "\n".join(lines)

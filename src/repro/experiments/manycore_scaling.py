@@ -1,0 +1,108 @@
+"""Manycore scaling study (extension experiment F-M).
+
+The question in McPAT's title: how does the manycore design point move
+across technology generations? For each node this study searches the
+largest core count whose chip fits a fixed area *and* power budget, and
+reports which budget binds. The expected shape is the dark-silicon
+story: area stops being the limiter and the power budget takes over as
+nodes shrink (leakage and the slower-than-ideal power scaling bite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip import Processor
+from repro.config import presets
+
+#: Nodes swept.
+DEFAULT_NODES = (90, 65, 45, 32, 22)
+
+#: Budgets representative of a server socket.
+DEFAULT_AREA_BUDGET_MM2 = 260.0
+DEFAULT_POWER_BUDGET_W = 130.0
+
+#: Core counts tried (powers of two keep the cluster math clean).
+_CANDIDATE_COUNTS = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node's best design under the budgets.
+
+    Attributes:
+        node_nm: Technology node.
+        max_cores: Largest feasible core count.
+        area_mm2: Die area at that count.
+        tdp_w: TDP at that count.
+        limiter: Which budget blocks the next doubling
+            (``"area"``, ``"power"``, or ``"none"`` if the sweep topped
+            out).
+    """
+
+    node_nm: int
+    max_cores: int
+    area_mm2: float
+    tdp_w: float
+    limiter: str
+
+
+def _evaluate(node_nm: int, n_cores: int) -> tuple[float, float]:
+    config = presets.manycore_cluster(
+        n_cores=n_cores,
+        cores_per_cluster=min(4, n_cores),
+        node_nm=node_nm,
+        clock_hz=1.5e9,
+    )
+    processor = Processor(config)
+    return processor.area * 1e6, processor.tdp
+
+
+def run_manycore_scaling(
+    nodes: tuple[int, ...] = DEFAULT_NODES,
+    area_budget_mm2: float = DEFAULT_AREA_BUDGET_MM2,
+    power_budget_w: float = DEFAULT_POWER_BUDGET_W,
+) -> list[ScalingPoint]:
+    """Find the max core count per node under both budgets.
+
+    Raises:
+        ValueError: If even the smallest candidate busts a budget.
+    """
+    points: list[ScalingPoint] = []
+    for node in nodes:
+        best: tuple[int, float, float] | None = None
+        limiter = "none"
+        for count in _CANDIDATE_COUNTS:
+            area, tdp = _evaluate(node, count)
+            if area > area_budget_mm2 or tdp > power_budget_w:
+                limiter = "area" if area > area_budget_mm2 else "power"
+                break
+            best = (count, area, tdp)
+        if best is None:
+            raise ValueError(
+                f"even {_CANDIDATE_COUNTS[0]} cores bust the budget at "
+                f"{node} nm"
+            )
+        points.append(ScalingPoint(
+            node_nm=node,
+            max_cores=best[0],
+            area_mm2=best[1],
+            tdp_w=best[2],
+            limiter=limiter,
+        ))
+    return points
+
+
+def format_scaling_points(points: list[ScalingPoint]) -> str:
+    """Render the manycore-scaling study as text."""
+    lines = [
+        f"{'node':>5} {'max cores':>10} {'area mm2':>9} {'TDP W':>7} "
+        f"{'limited by':>11}",
+        "-" * 48,
+    ]
+    for p in points:
+        lines.append(
+            f"{p.node_nm:>5} {p.max_cores:>10} {p.area_mm2:>9.1f} "
+            f"{p.tdp_w:>7.1f} {p.limiter:>11}"
+        )
+    return "\n".join(lines)

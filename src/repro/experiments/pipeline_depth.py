@@ -1,0 +1,158 @@
+"""Optimal pipeline depth study (extension experiment F-P).
+
+A classic power/performance question McPAT-class tools answer: deeper
+pipelines raise the clock (less logic per stage) but pay latch/clock
+power and longer branch-misprediction penalties. This study sweeps the
+pipeline depth of a core, derives the achievable clock from a fixed
+total-logic-depth budget, models the IPC loss from the deeper
+misprediction pipeline, and reports performance (BIPS), power, and
+BIPS^3/W — the metric the pipeline-depth literature optimizes. The
+expected shape is the textbook one: performance peaks deeper than the
+efficiency optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activity import CoreActivity
+from repro.config.schema import CoreConfig
+from repro.core import Core
+from repro.tech import Technology
+
+#: Total useful logic depth of the scalar pipeline (FO4 units).
+TOTAL_LOGIC_DEPTH_FO4 = 240.0
+
+#: Latch + skew/jitter overhead per stage (FO4 units).
+LATCH_OVERHEAD_FO4 = 3.0
+
+#: Branch misprediction rate (per branch) and branch fraction used for
+#: the IPC penalty model.
+_MISPREDICT_RATE = 0.05
+_BRANCH_FRACTION = 0.15
+
+#: Fraction of instructions consuming a just-produced value; when deep
+#: pipelining stretches execution over multiple cycles they stall.
+_DEPENDENT_FRACTION = 0.35
+
+#: Pipeline depth at which a simple ALU op still completes in one cycle.
+_SINGLE_CYCLE_ALU_DEPTH = 10.0
+
+#: Off-chip misses per instruction and DRAM latency for the memory term
+#: (a fixed wall-clock latency costs more cycles at higher clocks — the
+#: real limiter of frequency scaling).
+_MISSES_PER_INSTRUCTION = 0.003
+_MEMORY_LATENCY_S = 60e-9
+_MEMORY_LEVEL_PARALLELISM = 2.0
+
+#: Default depth sweep.
+DEFAULT_DEPTHS = (6, 9, 12, 16, 20, 26, 32)
+
+
+@dataclass(frozen=True)
+class PipelinePoint:
+    """One pipeline-depth datapoint.
+
+    Attributes:
+        stages: Pipeline depth.
+        clock_hz: Achievable clock at that depth.
+        ipc: Committed IPC including the misprediction penalty.
+        bips: Billions of instructions per second.
+        power_w: Core runtime power at that operating point.
+    """
+
+    stages: int
+    clock_hz: float
+    ipc: float
+    bips: float
+    power_w: float
+
+    @property
+    def bips3_per_watt(self) -> float:
+        """The pipeline-depth literature's efficiency metric."""
+        return self.bips**3 / self.power_w if self.power_w else 0.0
+
+
+def achievable_clock(tech: Technology, stages: int) -> float:
+    """Clock from the logic-depth budget at a pipeline depth (Hz)."""
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    per_stage_fo4 = TOTAL_LOGIC_DEPTH_FO4 / stages + LATCH_OVERHEAD_FO4
+    return 1.0 / (per_stage_fo4 * tech.fo4_delay)
+
+
+def pipelined_ipc(base_ipc: float, stages: int, clock_hz: float) -> float:
+    """IPC including the three depth/frequency penalties.
+
+    * Branch flushes: proportional to the front-end depth.
+    * Data-hazard stalls: once execution stretches past one cycle,
+      dependent instructions wait.
+    * Memory stalls: the fixed DRAM wall-clock latency costs more cycles
+      at higher clock rates.
+    """
+    if base_ipc <= 0:
+        raise ValueError("base_ipc must be positive")
+    if clock_hz <= 0:
+        raise ValueError("clock must be positive")
+    flush = _BRANCH_FRACTION * _MISPREDICT_RATE * (2.0 / 3.0) * stages
+    hazard = _DEPENDENT_FRACTION * max(
+        0.0, stages / _SINGLE_CYCLE_ALU_DEPTH - 1.0
+    )
+    memory = (
+        _MISSES_PER_INSTRUCTION
+        * _MEMORY_LATENCY_S
+        * clock_hz
+        / _MEMORY_LEVEL_PARALLELISM
+    )
+    cpi = 1.0 / base_ipc + flush + hazard + memory
+    return 1.0 / cpi
+
+
+def run_pipeline_depth_study(
+    node_nm: int = 45,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    base_ipc: float = 1.6,
+) -> list[PipelinePoint]:
+    """Sweep the pipeline depth of a 2-wide core."""
+    tech = Technology(node_nm=node_nm, temperature_k=360)
+    points: list[PipelinePoint] = []
+    for stages in depths:
+        config = CoreConfig(
+            name=f"depth{stages}",
+            issue_width=2,
+            fetch_width=2,
+            decode_width=2,
+            commit_width=2,
+            pipeline_stages=stages,
+        )
+        clock = achievable_clock(tech, stages)
+        ipc = pipelined_ipc(base_ipc, stages, clock)
+        activity = CoreActivity(ipc=min(ipc, 2.0))
+        result = Core(tech, config).result(clock, activity)
+        power = (
+            result.total_runtime_dynamic_power + result.total_leakage_power
+        )
+        points.append(PipelinePoint(
+            stages=stages,
+            clock_hz=clock,
+            ipc=ipc,
+            bips=ipc * clock / 1e9,
+            power_w=power,
+        ))
+    return points
+
+
+def format_pipeline_table(points: list[PipelinePoint]) -> str:
+    """Render the study as text."""
+    lines = [
+        f"{'stages':>6} {'clock GHz':>10} {'IPC':>6} {'BIPS':>7} "
+        f"{'power W':>8} {'BIPS^3/W':>9}",
+        "-" * 52,
+    ]
+    for p in points:
+        lines.append(
+            f"{p.stages:>6} {p.clock_hz / 1e9:>10.2f} {p.ipc:>6.2f} "
+            f"{p.bips:>7.2f} {p.power_w:>8.2f} "
+            f"{p.bips3_per_watt:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Published reference data for the validation targets.
+
+All values are **approximate reconstructions from the public record**
+(vendor datasheets, ISSCC/hot-chips presentations, die photos) — the same
+sources McPAT validated against. Exact per-component numbers were never
+published for most of these chips; where a value is an estimate from a die
+photo or a secondary source it is still recorded here so the validation
+harness has a single authoritative reference table, and EXPERIMENTS.md
+documents the provenance caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PublishedChip:
+    """Published headline numbers for one validation target.
+
+    Attributes:
+        name: Matches the preset's ``SystemConfig.name``.
+        node_nm: Technology node.
+        clock_hz: Shipping clock rate.
+        power_w: Published power (typical/TDP as noted in docs).
+        area_mm2: Published die area.
+        component_power_fraction: Approximate share of chip power by
+            component group (fractions of ``power_w``; need not sum to 1,
+            the remainder being unattributed).
+    """
+
+    name: str
+    node_nm: int
+    clock_hz: float
+    power_w: float
+    area_mm2: float
+    component_power_fraction: dict[str, float]
+
+
+PUBLISHED: dict[str, PublishedChip] = {
+    "niagara1": PublishedChip(
+        name="Niagara (UltraSPARC T1)",
+        node_nm=90,
+        clock_hz=1.2e9,
+        power_w=63.0,
+        area_mm2=378.0,
+        component_power_fraction={
+            "cores": 0.52,   # 8 SPARC pipes incl. L1s (approx.)
+            "l2": 0.19,
+            "noc": 0.03,     # core-to-L2 crossbar
+            "mc_io": 0.17,   # DDR2 controllers + JBUS + misc I/O
+            "clock_misc": 0.09,
+        },
+    ),
+    "niagara2": PublishedChip(
+        name="Niagara2 (UltraSPARC T2)",
+        node_nm=65,
+        clock_hz=1.4e9,
+        power_w=84.0,
+        area_mm2=342.0,
+        component_power_fraction={
+            "cores": 0.50,
+            "l2": 0.20,
+            "noc": 0.03,
+            "mc_io": 0.20,   # FBDIMM + PCIe + 10GbE SerDes
+            "clock_misc": 0.07,
+        },
+    ),
+    "alpha21364": PublishedChip(
+        name="Alpha 21364 (EV7)",
+        node_nm=180,
+        clock_hz=1.2e9,
+        power_w=125.0,
+        area_mm2=396.0,
+        component_power_fraction={
+            "cores": 0.58,   # the EV68 core dominates
+            "l2": 0.18,
+            "noc": 0.09,     # inter-processor router
+            "mc_io": 0.10,   # dual RDRAM controllers
+            "clock_misc": 0.05,
+        },
+    ),
+    "xeon_tulsa": PublishedChip(
+        name="Xeon Tulsa (7100)",
+        node_nm=65,
+        clock_hz=3.4e9,
+        power_w=150.0,
+        area_mm2=435.0,
+        component_power_fraction={
+            "cores": 0.55,   # two NetBurst cores at 3.4 GHz
+            "l2": 0.06,
+            "l3": 0.15,      # 16 MB, mostly leakage + sequential access
+            "noc": 0.04,     # shared bus interface
+            "mc_io": 0.10,   # FSB I/O
+            "clock_misc": 0.10,
+        },
+    ),
+}

@@ -1,0 +1,86 @@
+"""Technology-scaling experiment (figure F-S).
+
+Holds a Niagara2-class core fixed and rebuilds it across the roadmap
+nodes in both HP and LSTP flavors, reporting area, peak dynamic power,
+and leakage — the figure that shows dynamic power shrinking with the node
+while HP leakage grows to claim an ever-larger share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activity import CoreActivity
+from repro.config import presets
+from repro.core import Core
+from repro.tech import DeviceType, Technology
+
+#: Nodes swept (the 180 nm legacy node is omitted: its devices predate
+#: the HP/LSTP split the figure is about).
+SCALING_NODES = (90, 65, 45, 32, 22)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One (node, flavor) datapoint for the fixed core.
+
+    Attributes:
+        node_nm: Technology node.
+        device_type: HP or LSTP.
+        area_mm2: Core area.
+        peak_dynamic_w: Core peak dynamic power at the fixed clock.
+        leakage_w: Core leakage at 360 K.
+    """
+
+    node_nm: int
+    device_type: DeviceType
+    area_mm2: float
+    peak_dynamic_w: float
+    leakage_w: float
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of total peak power."""
+        total = self.peak_dynamic_w + self.leakage_w
+        return self.leakage_w / total if total else 0.0
+
+
+def run_tech_scaling(
+    clock_hz: float = 1.4e9,
+    nodes: tuple[int, ...] = SCALING_NODES,
+) -> list[ScalingRow]:
+    """Sweep the fixed core across nodes and device flavors."""
+    core_config = presets.niagara2().core
+    rows: list[ScalingRow] = []
+    for node in nodes:
+        for flavor in (DeviceType.HP, DeviceType.LSTP):
+            tech = Technology(
+                node_nm=node, temperature_k=360.0, device_type=flavor,
+            )
+            result = Core(tech, core_config).result(
+                clock_hz, CoreActivity.peak(core_config.issue_width)
+            )
+            rows.append(ScalingRow(
+                node_nm=node,
+                device_type=flavor,
+                area_mm2=result.total_area * 1e6,
+                peak_dynamic_w=result.total_peak_dynamic_power,
+                leakage_w=result.total_leakage_power,
+            ))
+    return rows
+
+
+def format_scaling_table(rows: list[ScalingRow]) -> str:
+    """Render the scaling figure's data as text."""
+    lines = [
+        f"{'node':>5} {'flavor':<6} {'area mm2':>9} {'dyn W':>8} "
+        f"{'leak W':>8} {'leak %':>7}",
+        "-" * 48,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.node_nm:>5} {row.device_type.value:<6} "
+            f"{row.area_mm2:>9.2f} {row.peak_dynamic_w:>8.2f} "
+            f"{row.leakage_w:>8.3f} {row.leakage_fraction:>6.1%}"
+        )
+    return "\n".join(lines)

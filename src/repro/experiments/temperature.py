@@ -1,0 +1,73 @@
+"""Temperature sensitivity study (extension experiment F-T).
+
+McPAT evaluates leakage at a user-supplied junction temperature; this
+study sweeps that input for a fixed chip and shows the exponential
+subthreshold-leakage growth that drives thermal-runaway analyses —
+roughly an order of magnitude between a cool 300 K die and a hot 380 K
+one on an HP process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.chip import Processor
+from repro.config import presets
+from repro.config.schema import SystemConfig
+
+#: Junction temperatures swept (K).
+DEFAULT_TEMPERATURES_K = (300.0, 320.0, 340.0, 360.0, 380.0)
+
+
+@dataclass(frozen=True)
+class TemperaturePoint:
+    """One junction-temperature datapoint.
+
+    Attributes:
+        temperature_k: Junction temperature.
+        leakage_w: Chip leakage at that temperature.
+        tdp_w: Peak power (dynamic is temperature-insensitive here).
+    """
+
+    temperature_k: float
+    leakage_w: float
+    tdp_w: float
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of TDP."""
+        return self.leakage_w / self.tdp_w if self.tdp_w else 0.0
+
+
+def run_temperature_study(
+    base_config: SystemConfig | None = None,
+    temperatures_k: tuple[float, ...] = DEFAULT_TEMPERATURES_K,
+) -> list[TemperaturePoint]:
+    """Sweep the junction temperature of one chip."""
+    base_config = base_config or presets.niagara2()
+    points: list[TemperaturePoint] = []
+    for temperature in temperatures_k:
+        config = dataclasses.replace(base_config,
+                                     temperature_k=temperature)
+        processor = Processor(config)
+        points.append(TemperaturePoint(
+            temperature_k=temperature,
+            leakage_w=processor.leakage_power,
+            tdp_w=processor.tdp,
+        ))
+    return points
+
+
+def format_temperature_table(points: list[TemperaturePoint]) -> str:
+    """Render the temperature study as text."""
+    lines = [
+        f"{'T (K)':>6} {'leakage W':>10} {'TDP W':>7} {'leak %':>7}",
+        "-" * 34,
+    ]
+    for p in points:
+        lines.append(
+            f"{p.temperature_k:>6.0f} {p.leakage_w:>10.2f} "
+            f"{p.tdp_w:>7.1f} {p.leakage_fraction:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""On-die peripheral I/O controllers: NIU and PCIe.
+
+Later McPAT releases model the network interface unit and PCIe
+controllers that server chips (Niagara2 being the canonical example)
+integrate on die; both are gate-census digital engines in front of
+SerDes lanes whose energy-per-bit dominates.
+"""
+
+from repro.io.niu import NetworkInterfaceUnit
+from repro.io.pcie import PcieController
+
+__all__ = ["NetworkInterfaceUnit", "PcieController"]

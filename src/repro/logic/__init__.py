@@ -1,0 +1,27 @@
+"""Random and complex logic models.
+
+Complex custom datapath logic (ALU, FPU, multiplier/divider) does not lend
+itself to the RC-tree modeling used for arrays, so McPAT models these
+empirically: a per-operation energy and area calibrated at a reference node
+against published designs, technology-scaled elsewhere, with leakage
+re-derived from the target node's device parameters. Structured random
+logic (decoders, dependency check, selection trees, pipeline registers) is
+modeled from gate censuses.
+"""
+
+from repro.logic.functional_units import FunctionalUnit, FunctionalUnitKind
+from repro.logic.decoder_logic import InstructionDecoder
+from repro.logic.dependency_check import DependencyCheck
+from repro.logic.selection import SelectionLogic
+from repro.logic.pipeline import PipelineRegisters
+from repro.logic.control_logic import ControlLogic
+
+__all__ = [
+    "FunctionalUnit",
+    "FunctionalUnitKind",
+    "InstructionDecoder",
+    "DependencyCheck",
+    "SelectionLogic",
+    "PipelineRegisters",
+    "ControlLogic",
+]

@@ -1,0 +1,5 @@
+"""Off-chip memory controller model."""
+
+from repro.mc.memory_controller import MemoryController
+
+__all__ = ["MemoryController"]

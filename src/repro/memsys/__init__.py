@@ -1,0 +1,5 @@
+"""Shared cache levels and coherence directory models."""
+
+from repro.memsys.shared_cache import SharedCache
+
+__all__ = ["SharedCache"]

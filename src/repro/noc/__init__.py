@@ -1,0 +1,7 @@
+"""On-chip interconnect models: routers, links, and whole networks."""
+
+from repro.noc.router import Router
+from repro.noc.link import Link
+from repro.noc.noc import NetworkOnChip
+
+__all__ = ["Router", "Link", "NetworkOnChip"]

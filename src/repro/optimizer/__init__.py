@@ -1,0 +1,15 @@
+"""Design-space optimization on top of the modeling framework."""
+
+from repro.optimizer.search import (
+    DesignCandidate,
+    DesignConstraints,
+    DesignObjective,
+    sweep_designs,
+)
+
+__all__ = [
+    "DesignCandidate",
+    "DesignConstraints",
+    "DesignObjective",
+    "sweep_designs",
+]

@@ -1,0 +1,172 @@
+"""Chip-level design-space search.
+
+McPAT's headline use case: score many candidate architectures by a
+power/performance objective under area/power constraints, fast enough to
+sweep hundreds of points. This module evaluates a list of
+:class:`~repro.config.schema.SystemConfig` candidates, optionally with a
+workload for runtime metrics, and ranks feasible ones by the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.chip import Processor
+from repro.config.schema import SystemConfig
+from repro.perf import MulticoreSimulator, Workload
+
+
+class DesignObjective(str, Enum):
+    """What to minimize."""
+
+    TDP = "tdp"
+    AREA = "area"
+    RUNTIME = "runtime"
+    ENERGY = "energy"
+    EDP = "edp"
+    ED2P = "ed2p"
+
+
+#: Objectives that need a workload simulation.
+_RUNTIME_OBJECTIVES = frozenset({
+    DesignObjective.RUNTIME,
+    DesignObjective.ENERGY,
+    DesignObjective.EDP,
+    DesignObjective.ED2P,
+})
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """Feasibility limits.
+
+    Attributes:
+        max_area_mm2: Die-area budget (None = unconstrained).
+        max_tdp_w: TDP budget (None = unconstrained).
+    """
+
+    max_area_mm2: float | None = None
+    max_tdp_w: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_area_mm2", "max_tdp_w"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One evaluated design point.
+
+    Attributes:
+        config: The candidate configuration.
+        area_mm2: Modeled die area.
+        tdp_w: Modeled TDP.
+        runtime_s: Workload run time (None without a workload).
+        power_w: Workload runtime power (None without a workload).
+        feasible: Whether the constraints are met.
+    """
+
+    config: SystemConfig
+    area_mm2: float
+    tdp_w: float
+    runtime_s: float | None
+    power_w: float | None
+    feasible: bool
+
+    @property
+    def energy_j(self) -> float | None:
+        if self.runtime_s is None or self.power_w is None:
+            return None
+        return self.runtime_s * self.power_w
+
+    @property
+    def edp(self) -> float | None:
+        energy = self.energy_j
+        if energy is None:
+            return None
+        return energy * self.runtime_s
+
+    @property
+    def ed2p(self) -> float | None:
+        edp = self.edp
+        if edp is None:
+            return None
+        return edp * self.runtime_s
+
+    def objective_value(self, objective: DesignObjective) -> float:
+        """Scalar score for ranking (lower is better).
+
+        Raises:
+            ValueError: If a runtime objective is requested but the
+                candidate was evaluated without a workload.
+        """
+        mapping = {
+            DesignObjective.TDP: self.tdp_w,
+            DesignObjective.AREA: self.area_mm2,
+            DesignObjective.RUNTIME: self.runtime_s,
+            DesignObjective.ENERGY: self.energy_j,
+            DesignObjective.EDP: self.edp,
+            DesignObjective.ED2P: self.ed2p,
+        }
+        value = mapping[objective]
+        if value is None:
+            raise ValueError(
+                f"objective {objective.value!r} needs a workload simulation"
+            )
+        return value
+
+
+def sweep_designs(
+    candidates: list[SystemConfig],
+    objective: DesignObjective = DesignObjective.EDP,
+    constraints: DesignConstraints | None = None,
+    workload: Workload | None = None,
+) -> list[DesignCandidate]:
+    """Evaluate and rank candidate designs, best first.
+
+    Feasible candidates sort before infeasible ones; within each group the
+    objective ranks them.
+
+    Raises:
+        ValueError: If ``candidates`` is empty, or a runtime objective is
+            requested without a workload.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate design")
+    if objective in _RUNTIME_OBJECTIVES and workload is None:
+        raise ValueError(
+            f"objective {objective.value!r} requires a workload"
+        )
+    constraints = constraints or DesignConstraints()
+
+    evaluated: list[DesignCandidate] = []
+    for config in candidates:
+        processor = Processor(config)
+        area_mm2 = processor.area * 1e6
+        tdp = processor.tdp
+        runtime = power = None
+        if workload is not None:
+            result = MulticoreSimulator(processor).run(workload)
+            runtime = result.runtime_s
+            power = processor.report(result.activity).total_runtime_power
+        feasible = True
+        if constraints.max_area_mm2 is not None:
+            feasible = feasible and area_mm2 <= constraints.max_area_mm2
+        if constraints.max_tdp_w is not None:
+            feasible = feasible and tdp <= constraints.max_tdp_w
+        evaluated.append(DesignCandidate(
+            config=config,
+            area_mm2=area_mm2,
+            tdp_w=tdp,
+            runtime_s=runtime,
+            power_w=power,
+            feasible=feasible,
+        ))
+
+    return sorted(
+        evaluated,
+        key=lambda c: (not c.feasible, c.objective_value(objective)),
+    )

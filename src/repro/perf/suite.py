@@ -1,0 +1,114 @@
+"""Run a whole workload suite against one chip and summarize.
+
+The convenience layer over :class:`~repro.perf.multicore_sim.
+MulticoreSimulator` that the case studies and examples share: run every
+profile, collect per-workload numbers, and compute the suite summary the
+way the paper does (arithmetic mean of times, geometric mean of ratio
+metrics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.chip.processor import Processor
+from repro.perf.multicore_sim import MulticoreSimulator, SimulationResult
+from repro.perf.workload import SPLASH2_PROFILES, Workload
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One workload's results on one chip.
+
+    Attributes:
+        workload: Name.
+        result: Raw simulation result.
+        power_w: Runtime power under the produced activity.
+    """
+
+    workload: str
+    result: SimulationResult
+    power_w: float
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        return self.power_w / self.result.throughput_ips * 1e9
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Suite-level aggregates.
+
+    Attributes:
+        entries: Per-workload results.
+        mean_runtime_s: Arithmetic mean of run times.
+        mean_power_w: Arithmetic mean of runtime powers.
+        geomean_epi_nj: Geometric mean of energy/instruction.
+        geomean_ipc: Geometric mean of per-core IPC.
+    """
+
+    entries: tuple[SuiteEntry, ...]
+    mean_runtime_s: float
+    mean_power_w: float
+    geomean_epi_nj: float
+    geomean_ipc: float
+
+
+def run_suite(
+    processor: Processor,
+    workloads: dict[str, Workload] | None = None,
+) -> SuiteSummary:
+    """Run every workload on ``processor`` and summarize.
+
+    Raises:
+        ValueError: If the workload set is empty.
+    """
+    workloads = workloads if workloads is not None else SPLASH2_PROFILES
+    if not workloads:
+        raise ValueError("need at least one workload")
+    simulator = MulticoreSimulator(processor)
+    entries: list[SuiteEntry] = []
+    for name, workload in workloads.items():
+        result = simulator.run(workload)
+        power = processor.report(result.activity).total_runtime_power
+        entries.append(SuiteEntry(
+            workload=name, result=result, power_w=power,
+        ))
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values)
+
+    def geomean(values: list[float]) -> float:
+        return math.exp(mean([math.log(v) for v in values]))
+
+    return SuiteSummary(
+        entries=tuple(entries),
+        mean_runtime_s=mean([e.result.runtime_s for e in entries]),
+        mean_power_w=mean([e.power_w for e in entries]),
+        geomean_epi_nj=geomean(
+            [e.energy_per_instruction_nj for e in entries]),
+        geomean_ipc=geomean([e.result.ipc_per_core for e in entries]),
+    )
+
+
+def format_suite_table(summary: SuiteSummary) -> str:
+    """Render a suite run as text."""
+    lines = [
+        f"{'workload':<10} {'IPC/core':>8} {'GIPS':>7} {'power W':>8} "
+        f"{'EPI nJ':>7}",
+        "-" * 46,
+    ]
+    for entry in summary.entries:
+        lines.append(
+            f"{entry.workload:<10} {entry.result.ipc_per_core:>8.2f} "
+            f"{entry.result.throughput_ips / 1e9:>7.1f} "
+            f"{entry.power_w:>8.1f} "
+            f"{entry.energy_per_instruction_nj:>7.2f}"
+        )
+    lines.append("-" * 46)
+    lines.append(
+        f"{'geomean':<10} {summary.geomean_ipc:>8.2f} {'':>7} "
+        f"{summary.mean_power_w:>8.1f} {summary.geomean_epi_nj:>7.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Workload profiles for the analytical performance model.
+
+Each profile captures the per-thread characteristics that the CPI model
+consumes: instruction mix, cache behavior, and how the working set
+responds to shared caches. The shipped profiles are shaped like the
+SPLASH-2 suite commonly used in manycore studies (the compute-bound /
+memory-bound / communication-heavy spread matters more than the exact
+decimals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Per-thread workload characterization.
+
+    Attributes:
+        name: Label.
+        base_cpi: CPI of the core pipeline with a perfect memory system.
+        load_fraction: Loads per instruction.
+        store_fraction: Stores per instruction.
+        branch_fraction: Branches per instruction.
+        fp_fraction: FP operations per instruction.
+        mul_fraction: Multiply/divide per instruction.
+        icache_miss_rate: L1-I misses per access.
+        dcache_miss_rate: L1-D misses per access.
+        l2_miss_rate_base: L2 misses per L2 access at the reference 1 MB
+            per-thread capacity (scaled by capacity via the square-root
+            rule).
+        sharing_fraction: Fraction of L2 traffic to data shared between
+            threads — this traffic hits the *local* cluster cache when
+            producer and consumer share an L2, and crosses the NoC
+            otherwise.
+        instructions_per_task: Work per thread for run-time conversion.
+    """
+
+    name: str
+    base_cpi: float
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.15
+    fp_fraction: float = 0.10
+    mul_fraction: float = 0.02
+    icache_miss_rate: float = 0.005
+    dcache_miss_rate: float = 0.03
+    l2_miss_rate_base: float = 0.20
+    sharing_fraction: float = 0.15
+    instructions_per_task: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        for name in ("load_fraction", "store_fraction", "branch_fraction",
+                     "fp_fraction", "mul_fraction", "icache_miss_rate",
+                     "dcache_miss_rate", "l2_miss_rate_base",
+                     "sharing_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.instructions_per_task <= 0:
+            raise ValueError("instructions_per_task must be positive")
+
+    def l2_miss_rate(self, capacity_bytes_per_thread: float) -> float:
+        """Capacity-adjusted L2 miss rate (square-root rule of thumb)."""
+        if capacity_bytes_per_thread <= 0:
+            return 1.0
+        reference = 1024.0 * 1024.0
+        ratio = (reference / capacity_bytes_per_thread) ** 0.5
+        return min(1.0, self.l2_miss_rate_base * ratio)
+
+
+#: SPLASH-2-shaped profiles: compute-bound (water, lu), bandwidth-bound
+#: (ocean, radix), communication-heavy (barnes, fmm), and in between.
+SPLASH2_PROFILES: dict[str, Workload] = {
+    "barnes": Workload(
+        name="barnes", base_cpi=1.1, load_fraction=0.28, store_fraction=0.09,
+        fp_fraction=0.25, dcache_miss_rate=0.022, l2_miss_rate_base=0.18,
+        sharing_fraction=0.35,
+    ),
+    "fmm": Workload(
+        name="fmm", base_cpi=1.2, load_fraction=0.26, store_fraction=0.08,
+        fp_fraction=0.30, dcache_miss_rate=0.018, l2_miss_rate_base=0.15,
+        sharing_fraction=0.30,
+    ),
+    "ocean": Workload(
+        name="ocean", base_cpi=1.0, load_fraction=0.32, store_fraction=0.14,
+        fp_fraction=0.28, dcache_miss_rate=0.062, l2_miss_rate_base=0.45,
+        sharing_fraction=0.20,
+    ),
+    "radix": Workload(
+        name="radix", base_cpi=0.9, load_fraction=0.30, store_fraction=0.18,
+        fp_fraction=0.0, dcache_miss_rate=0.055, l2_miss_rate_base=0.50,
+        sharing_fraction=0.10,
+    ),
+    "fft": Workload(
+        name="fft", base_cpi=1.0, load_fraction=0.28, store_fraction=0.12,
+        fp_fraction=0.35, dcache_miss_rate=0.040, l2_miss_rate_base=0.35,
+        sharing_fraction=0.15,
+    ),
+    "lu": Workload(
+        name="lu", base_cpi=1.0, load_fraction=0.30, store_fraction=0.10,
+        fp_fraction=0.40, dcache_miss_rate=0.015, l2_miss_rate_base=0.12,
+        sharing_fraction=0.12,
+    ),
+    "water": Workload(
+        name="water", base_cpi=1.15, load_fraction=0.27, store_fraction=0.08,
+        fp_fraction=0.35, dcache_miss_rate=0.010, l2_miss_rate_base=0.08,
+        sharing_fraction=0.18,
+    ),
+    "cholesky": Workload(
+        name="cholesky", base_cpi=1.05, load_fraction=0.29,
+        store_fraction=0.11, fp_fraction=0.32, dcache_miss_rate=0.030,
+        l2_miss_rate_base=0.25, sharing_fraction=0.22,
+    ),
+}

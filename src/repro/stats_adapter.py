@@ -1,0 +1,171 @@
+"""Adapter from raw simulator statistics to activity bundles.
+
+McPAT's defining interface decision is consuming *counts* from any
+performance simulator (the paper pairs it with M5-class simulators). This
+module converts a flat dictionary of gem5/M5-style counters into the
+:class:`~repro.activity.SystemActivity` the power model consumes, so real
+simulator output can drive the framework without touching its internals.
+
+Expected counter names (gem5 ``stats.txt`` conventions, per-core values
+averaged across cores by the caller or emitted per chip):
+
+========================  =====================================
+``sim_cycles``            cycles simulated (required)
+``committed_insts``       committed instructions (required)
+``num_load_insts``        committed loads
+``num_store_insts``       committed stores
+``num_branches``          committed branches
+``num_fp_insts``          committed FP operations
+``num_mult_insts``        committed multiply/divide operations
+``icache_accesses``       L1-I lookups
+``icache_misses``         L1-I misses
+``dcache_accesses``       L1-D lookups
+``dcache_misses``         L1-D misses
+``fetched_insts``         fetched (incl. squashed) instructions
+``l2_accesses``           shared-L2 lookups (chip total)
+``l2_misses``             shared-L2 misses
+``l2_writebacks``         shared-L2 writebacks
+``noc_flits``             flits injected (chip total)
+``mem_reads``             DRAM read transactions
+``mem_writes``            DRAM write transactions
+========================  =====================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.activity import (
+    CacheActivity,
+    CoreActivity,
+    MemoryControllerActivity,
+    NocActivity,
+    SystemActivity,
+)
+
+_REQUIRED = ("sim_cycles", "committed_insts")
+
+
+def parse_gem5_stats(path: str | Path) -> dict[str, float]:
+    """Parse a gem5-style ``stats.txt`` into a flat counter dict.
+
+    The format is ``name  value  # comment`` per line, with dump markers
+    (``---------- Begin/End Simulation Statistics ----------``) and blank
+    lines ignored. Only the *last* dump's value is kept for counters that
+    appear in multiple dumps. Non-numeric values (``nan``, ``inf``,
+    histograms) are skipped.
+
+    Raises:
+        FileNotFoundError: If the file does not exist.
+    """
+    counters: dict[str, float] = {}
+    for raw_line in Path(path).read_text().splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or line.startswith("-"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        name, value_text = parts[0], parts[1]
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue
+        if value != value or value in (float("inf"), float("-inf")):
+            continue  # nan / inf placeholders
+        counters[name] = value
+    return counters
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return 0.0
+    return min(1.0, max(0.0, numerator / denominator))
+
+
+def core_activity_from_stats(
+    stats: Mapping[str, float],
+    duty_cycle: float = 1.0,
+) -> CoreActivity:
+    """Build one core's activity from its counters.
+
+    Raises:
+        KeyError: If a required counter is missing.
+        ValueError: On non-physical counts (negative, zero cycles).
+    """
+    for key in _REQUIRED:
+        if key not in stats:
+            raise KeyError(f"required counter {key!r} missing")
+    cycles = float(stats["sim_cycles"])
+    insts = float(stats["committed_insts"])
+    if cycles <= 0:
+        raise ValueError("sim_cycles must be positive")
+    if insts < 0:
+        raise ValueError("committed_insts must be non-negative")
+    if any(v < 0 for v in stats.values()):
+        raise ValueError("counters must be non-negative")
+
+    fetched = float(stats.get("fetched_insts", insts))
+    speculation = max(0.0, fetched / insts - 1.0) if insts else 0.0
+
+    return CoreActivity(
+        ipc=insts / cycles,
+        duty_cycle=duty_cycle,
+        load_fraction=_ratio(stats.get("num_load_insts", 0.0), insts),
+        store_fraction=_ratio(stats.get("num_store_insts", 0.0), insts),
+        branch_fraction=_ratio(stats.get("num_branches", 0.0), insts),
+        fp_fraction=_ratio(stats.get("num_fp_insts", 0.0), insts),
+        mul_fraction=_ratio(stats.get("num_mult_insts", 0.0), insts),
+        icache_miss_rate=_ratio(
+            stats.get("icache_misses", 0.0),
+            stats.get("icache_accesses", 0.0),
+        ),
+        dcache_miss_rate=_ratio(
+            stats.get("dcache_misses", 0.0),
+            stats.get("dcache_accesses", 0.0),
+        ),
+        speculation_overhead=min(2.0, speculation),
+    )
+
+
+def system_activity_from_stats(
+    stats: Mapping[str, float],
+    n_l2_instances: int = 1,
+    n_routers: int = 1,
+) -> SystemActivity:
+    """Build a whole-chip activity bundle from chip-total counters.
+
+    Per-cycle chip-total counters are divided across instances/routers so
+    they match the per-instance semantics of the activity dataclasses.
+    """
+    if n_l2_instances < 1 or n_routers < 1:
+        raise ValueError("instance counts must be >= 1")
+    core = core_activity_from_stats(stats)
+    cycles = float(stats["sim_cycles"])
+
+    l2 = None
+    if "l2_accesses" in stats:
+        accesses = float(stats["l2_accesses"])
+        writebacks = float(stats.get("l2_writebacks", 0.0))
+        l2 = CacheActivity(
+            accesses_per_cycle=(accesses / cycles) / n_l2_instances,
+            miss_rate=_ratio(stats.get("l2_misses", 0.0), accesses),
+            write_fraction=_ratio(writebacks, accesses),
+        )
+
+    noc = NocActivity(
+        flits_per_cycle_per_router=min(
+            1.0, float(stats.get("noc_flits", 0.0)) / cycles / n_routers
+        ),
+    )
+    memory_controller = MemoryControllerActivity(
+        reads_per_cycle=float(stats.get("mem_reads", 0.0)) / cycles,
+        writes_per_cycle=float(stats.get("mem_writes", 0.0)) / cycles,
+    )
+    return SystemActivity(
+        core=core,
+        l2=l2,
+        noc=noc,
+        memory_controller=memory_controller,
+    )

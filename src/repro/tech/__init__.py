@@ -1,0 +1,33 @@
+"""Technology-level models: devices, wires, and node scaling.
+
+This package is the bottom of McPAT's three-level hierarchy. It exposes
+ITRS-roadmap-shaped MOSFET parameters for the 180/90/65/45/32/22 nm nodes in
+three device flavors (high performance, low standby power, low operating
+power), wire geometry/RC for the local/semi-global/global planes, and the
+:class:`~repro.tech.technology.Technology` aggregate that the circuit level
+consumes.
+"""
+
+from repro.tech.device import (
+    DeviceParameters,
+    DeviceType,
+    SUPPORTED_NODES_NM,
+    device_parameters,
+)
+from repro.tech.wire import (
+    WireParameters,
+    WireType,
+    wire_parameters,
+)
+from repro.tech.technology import Technology
+
+__all__ = [
+    "DeviceParameters",
+    "DeviceType",
+    "SUPPORTED_NODES_NM",
+    "device_parameters",
+    "WireParameters",
+    "WireType",
+    "wire_parameters",
+    "Technology",
+]

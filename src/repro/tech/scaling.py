@@ -1,0 +1,54 @@
+"""Cross-node scaling helpers for empirically modeled blocks.
+
+McPAT models complex custom logic (ALUs, FPUs, multipliers) empirically:
+a per-operation energy and an area are taken from a published design at a
+*reference* node, then scaled to the target node. Energy scales with the
+capacitance-per-device (proportional to feature size for a fixed design)
+times Vdd^2; area scales with feature size squared. Leakage is re-derived at
+the target node from device off-currents, so only dynamic energy and area
+use these helpers.
+"""
+
+from __future__ import annotations
+
+from repro.tech.device import DeviceType, device_parameters
+
+
+def dynamic_energy_scale(
+    from_node_nm: int,
+    to_node_nm: int,
+    device_type: DeviceType = DeviceType.HP,
+) -> float:
+    """Factor that scales a per-op dynamic energy between nodes.
+
+    Energy ~ C * Vdd^2 where C for a fixed netlist scales linearly with the
+    feature size (device widths and local wire lengths both shrink
+    linearly).
+    """
+    src = device_parameters(from_node_nm, device_type)
+    dst = device_parameters(to_node_nm, device_type)
+    cap_ratio = to_node_nm / from_node_nm
+    voltage_ratio = (dst.vdd / src.vdd) ** 2
+    return cap_ratio * voltage_ratio
+
+
+def area_scale(from_node_nm: int, to_node_nm: int) -> float:
+    """Factor that scales a block area between nodes (ideal shrink)."""
+    return (to_node_nm / from_node_nm) ** 2
+
+
+def frequency_scale(
+    from_node_nm: int,
+    to_node_nm: int,
+    device_type: DeviceType = DeviceType.HP,
+) -> float:
+    """Achievable-frequency ratio between nodes for a fixed pipeline.
+
+    Gate delay ~ C * Vdd / I_on; with C per device shrinking linearly, delay
+    ratio follows (L * Vdd / Ion) ratios.
+    """
+    src = device_parameters(from_node_nm, device_type)
+    dst = device_parameters(to_node_nm, device_type)
+    delay_src = from_node_nm * src.vdd / src.i_on
+    delay_dst = to_node_nm * dst.vdd / dst.i_on
+    return delay_src / delay_dst

@@ -1,0 +1,223 @@
+"""Interconnect wire parameters per technology node and wiring plane.
+
+CACTI/McPAT distinguish three wiring planes:
+
+* ``LOCAL``       minimum-pitch wires inside mats and small blocks,
+* ``SEMI_GLOBAL`` 2x-pitch wires used for intra-bank routing and buses,
+* ``GLOBAL``      fat top-level wires used for H-trees, NoC links, clocks.
+
+Each plane has a pitch, an aspect ratio, and a dielectric stack, from which
+per-length resistance and capacitance follow. Copper resistivity includes
+the barrier-layer and surface-scattering penalties that grow as wires shrink
+(the "size effect"). The table values track the ITRS interconnect roadmap
+in the aggressive-projection variant McPAT defaults to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.units import EPSILON_0
+
+
+class WireType(str, Enum):
+    """Wiring plane."""
+
+    LOCAL = "local"
+    SEMI_GLOBAL = "semi_global"
+    GLOBAL = "global"
+
+
+#: Bulk resistivity of copper (ohm * m).
+_COPPER_RESISTIVITY = 1.72e-8
+
+#: Miller coupling factor applied to sidewall capacitance (worst-case
+#: switching of both neighbors would be 2.0; CACTI uses 1.5 on average).
+_MILLER_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class WireParameters:
+    """Geometry and electrical properties of one wiring plane.
+
+    Attributes:
+        node_nm: Technology node.
+        wire_type: Which plane.
+        pitch: Wire pitch (m); width and spacing are each ``pitch / 2``.
+        aspect_ratio: Wire thickness / wire width.
+        resistivity: Effective resistivity incl. barrier/size effects
+            (ohm * m).
+        dielectric_constant: Relative permittivity of the ILD stack.
+        ild_thickness: Inter-layer dielectric thickness (m).
+        horiz_dielectric_constant: Relative permittivity between adjacent
+            wires on the same layer.
+    """
+
+    node_nm: int
+    wire_type: WireType
+    pitch: float
+    aspect_ratio: float
+    resistivity: float
+    dielectric_constant: float
+    ild_thickness: float
+    horiz_dielectric_constant: float
+
+    @property
+    def width(self) -> float:
+        """Wire width (m)."""
+        return self.pitch / 2.0
+
+    @property
+    def spacing(self) -> float:
+        """Spacing to the adjacent wire (m)."""
+        return self.pitch / 2.0
+
+    @property
+    def thickness(self) -> float:
+        """Wire (metal) thickness (m)."""
+        return self.aspect_ratio * self.width
+
+    @property
+    def resistance_per_length(self) -> float:
+        """Series resistance per unit length (ohm/m)."""
+        return self.resistivity / (self.width * self.thickness)
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Total switching capacitance per unit length (F/m).
+
+        Sum of Miller-degraded sidewall coupling to the two same-layer
+        neighbors and parallel-plate coupling to the layers above and below,
+        plus a fringe term. This is the standard CACTI formulation.
+        """
+        sidewall = (
+            _MILLER_FACTOR
+            * self.horiz_dielectric_constant
+            * EPSILON_0
+            * 2.0
+            * self.thickness
+            / self.spacing
+        )
+        vertical = (
+            self.dielectric_constant
+            * EPSILON_0
+            * 2.0
+            * self.width
+            / self.ild_thickness
+        )
+        fringe = 0.04e-15 / 1e-6  # ~0.04 fF/um of fringing, CACTI constant
+        return sidewall + vertical + fringe
+
+    @property
+    def rc_per_length_squared(self) -> float:
+        """Distributed RC product per length^2 (s/m^2); wire figure of merit."""
+        return self.resistance_per_length * self.capacitance_per_length
+
+
+def _size_effect_resistivity(width: float, thickness: float) -> float:
+    """Effective copper resistivity including barrier and scattering.
+
+    A thin (~4 nm per side, floored at 10% of the dimension) barrier layer
+    does not conduct, and surface scattering raises resistivity for narrow
+    wires. Modeled as bulk resistivity inflated by the conductor-area loss
+    plus a scattering term growing as 1/width.
+    """
+    barrier = min(4e-9, 0.1 * min(width, thickness))
+    conducting_area = (width - 2 * barrier) * (thickness - barrier)
+    geometric = (width * thickness) / conducting_area
+    # Fuchs-Sondheimer-inspired correction: +35% at w = 50 nm, ~+10% at 200nm.
+    scattering = 1.0 + 0.35 * (50e-9 / max(width, 25e-9)) ** 0.8
+    return _COPPER_RESISTIVITY * geometric * scattering
+
+
+# Pitches follow roughly 2.5x / 4x-5x the feature size for local wires and
+# the semi-global / global planes respectively; low-k dielectrics phase in
+# at and below 90 nm.
+_WIRE_GEOMETRY: dict[int, dict[WireType, tuple[float, float, float]]] = {
+    # node: {plane: (pitch_nm, aspect_ratio, k_ild)}
+    180: {
+        WireType.LOCAL: (450, 2.0, 3.5),
+        WireType.SEMI_GLOBAL: (900, 2.2, 3.5),
+        WireType.GLOBAL: (1500, 2.2, 3.5),
+    },
+    90: {
+        WireType.LOCAL: (214, 2.0, 3.0),
+        WireType.SEMI_GLOBAL: (430, 2.2, 3.0),
+        WireType.GLOBAL: (720, 2.2, 3.0),
+    },
+    65: {
+        WireType.LOCAL: (156, 2.0, 2.8),
+        WireType.SEMI_GLOBAL: (312, 2.2, 2.8),
+        WireType.GLOBAL: (520, 2.3, 2.8),
+    },
+    45: {
+        WireType.LOCAL: (108, 2.0, 2.6),
+        WireType.SEMI_GLOBAL: (216, 2.3, 2.6),
+        WireType.GLOBAL: (360, 2.4, 2.6),
+    },
+    32: {
+        WireType.LOCAL: (78, 2.0, 2.4),
+        WireType.SEMI_GLOBAL: (156, 2.3, 2.4),
+        WireType.GLOBAL: (260, 2.5, 2.4),
+    },
+    22: {
+        WireType.LOCAL: (56, 2.0, 2.2),
+        WireType.SEMI_GLOBAL: (112, 2.4, 2.2),
+        WireType.GLOBAL: (186, 2.6, 2.2),
+    },
+}
+
+
+def wire_parameters(node_nm: int, wire_type: WireType) -> WireParameters:
+    """Look up wire parameters for one plane at one node.
+
+    Raises:
+        KeyError: If the node has no wire table.
+    """
+    try:
+        geometry = _WIRE_GEOMETRY[node_nm]
+    except KeyError as exc:
+        supported = ", ".join(str(n) for n in sorted(_WIRE_GEOMETRY))
+        raise KeyError(
+            f"no wire table for {node_nm} nm; supported nodes: {supported}"
+        ) from exc
+    pitch_nm, aspect_ratio, k_ild = geometry[WireType(wire_type)]
+    pitch = pitch_nm * 1e-9
+    width = pitch / 2.0
+    thickness = aspect_ratio * width
+    return WireParameters(
+        node_nm=node_nm,
+        wire_type=WireType(wire_type),
+        pitch=pitch,
+        aspect_ratio=aspect_ratio,
+        resistivity=_size_effect_resistivity(width, thickness),
+        dielectric_constant=k_ild,
+        ild_thickness=thickness * 0.8,
+        horiz_dielectric_constant=k_ild,
+    )
+
+
+def wire_delay_unrepeated(
+    params: WireParameters, length: float, drive_resistance: float = 0.0,
+    load_capacitance: float = 0.0,
+) -> float:
+    """Elmore delay of an unrepeated distributed RC wire (s).
+
+    ``0.38 * R_w * C_w`` for the distributed segment plus the lumped
+    driver-resistance and load-capacitance terms.
+    """
+    r_wire = params.resistance_per_length * length
+    c_wire = params.capacitance_per_length * length
+    return (
+        0.38 * r_wire * c_wire
+        + 0.69 * drive_resistance * (c_wire + load_capacitance)
+        + 0.69 * r_wire * load_capacitance
+    )
+
+
+def wire_energy(params: WireParameters, length: float, vdd: float) -> float:
+    """Switching energy of a full-swing transition on a wire (J)."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    return params.capacitance_per_length * length * vdd * vdd

@@ -1,0 +1,63 @@
+"""Physical constants and unit helpers used across the framework.
+
+All internal computations use SI base units: seconds, meters, farads, ohms,
+watts, joules, volts, amperes. Helper constants make intent explicit at call
+sites (``32 * NM`` rather than ``32e-9``).
+"""
+
+from __future__ import annotations
+
+# -- length --------------------------------------------------------------
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+
+# -- area ----------------------------------------------------------------
+UM2 = 1e-12  # square micrometer in m^2
+MM2 = 1e-6   # square millimeter in m^2
+
+# -- time ----------------------------------------------------------------
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+
+# -- frequency -----------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+# -- capacitance ---------------------------------------------------------
+FF = 1e-15
+PF = 1e-12
+
+# -- energy --------------------------------------------------------------
+FJ = 1e-15
+PJ = 1e-12
+NJ = 1e-9
+
+# -- current -------------------------------------------------------------
+UA = 1e-6
+MA = 1e-3
+
+# -- data sizes ----------------------------------------------------------
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+# -- physics -------------------------------------------------------------
+BOLTZMANN_EV = 8.617333262e-5  # Boltzmann constant in eV/K
+ROOM_TEMPERATURE_K = 300.0
+
+# Relative permittivity of SiO2 times vacuum permittivity (F/m), used in
+# wire-capacitance estimates.
+EPSILON_0 = 8.8541878128e-12
+EPSILON_SIO2 = 3.9 * EPSILON_0
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to Kelvin."""
+    return celsius + 273.15
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert Kelvin to degrees Celsius."""
+    return kelvin - 273.15

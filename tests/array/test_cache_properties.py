@@ -1,0 +1,65 @@
+"""Property-based tests on cache assembly invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.array import Cache, CacheAccessMode, CacheSpec
+from repro.tech import Technology
+from repro.units import KB
+
+TECH = Technology(node_nm=45, temperature_k=360)
+
+CAPACITIES = st.sampled_from([8 * KB, 32 * KB, 128 * KB, 512 * KB])
+BLOCKS = st.sampled_from([32, 64])
+WAYS = st.sampled_from([1, 2, 4, 8])
+MODES = st.sampled_from(list(CacheAccessMode))
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(capacity=CAPACITIES, block=BLOCKS, ways=WAYS, mode=MODES)
+def test_cache_invariants(capacity, block, ways, mode):
+    """Every buildable cache produces physical, ordered results."""
+    cache = Cache.build(TECH, CacheSpec(
+        name="prop", capacity_bytes=capacity, block_bytes=block,
+        associativity=ways, access_mode=mode,
+    ))
+    assert cache.access_time > 0
+    assert cache.cycle_time > 0
+    assert cache.read_hit_energy > 0
+    assert cache.write_energy > 0
+    assert cache.fill_energy > 0
+    assert cache.leakage_power > 0
+    assert cache.area > 0
+    # A miss can never cost more dynamic energy than hit + fill.
+    assert cache.read_miss_energy <= (
+        cache.read_hit_energy + cache.fill_energy)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(capacity=CAPACITIES, ways=WAYS)
+def test_sequential_never_costs_more_energy(capacity, ways):
+    """Sequential access trades latency for energy, never the reverse."""
+    base = dict(name="p", capacity_bytes=capacity, block_bytes=64,
+                associativity=ways)
+    seq = Cache.build(TECH, CacheSpec(
+        **base, access_mode=CacheAccessMode.SEQUENTIAL))
+    par = Cache.build(TECH, CacheSpec(
+        **base, access_mode=CacheAccessMode.NORMAL))
+    assert seq.read_hit_energy <= par.read_hit_energy * 1.01
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(capacity=st.sampled_from([16 * KB, 64 * KB, 256 * KB]))
+def test_capacity_monotone(capacity):
+    """4x the capacity => more area and leakage, never less."""
+    small = Cache.build(TECH, CacheSpec(
+        name="s", capacity_bytes=capacity, block_bytes=64,
+        associativity=4))
+    big = Cache.build(TECH, CacheSpec(
+        name="b", capacity_bytes=4 * capacity, block_bytes=64,
+        associativity=4))
+    assert big.area > small.area
+    assert big.leakage_power > small.leakage_power

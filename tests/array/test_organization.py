@@ -1,0 +1,100 @@
+"""Unit tests for the organization search (the internal optimizer)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array.organization import (
+    ArrayOrganization,
+    OptimizationWeights,
+    candidate_organizations,
+    search_organizations,
+)
+from repro.array.spec import ArraySpec
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+class TestArrayOrganization:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayOrganization(ndwl=3, ndbl=1, nspd=1)
+
+    def test_tiling_math(self):
+        spec = ArraySpec(name="x", entries=1024, width_bits=256)
+        org = ArrayOrganization(ndwl=4, ndbl=2, nspd=2)
+        assert org.rows_per_subarray(spec) == 256
+        assert org.cols_per_subarray(spec) == 128
+
+    def test_fits_rejects_uneven_tiling(self):
+        spec = ArraySpec(name="x", entries=100, width_bits=64)
+        assert not ArrayOrganization(ndwl=1, ndbl=8, nspd=1).fits(spec)
+
+    def test_fits_rejects_mux_mismatch(self):
+        # cols = 29 with nspd 2 cannot mux evenly.
+        spec = ArraySpec(name="x", entries=512, width_bits=116)
+        assert not ArrayOrganization(ndwl=8, ndbl=1, nspd=2).fits(spec)
+
+
+class TestWeights:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizationWeights(delay=-1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizationWeights(delay=0, dynamic_energy=0, leakage=0, area=0)
+
+
+class TestCandidateGeneration:
+    def test_candidates_all_fit(self):
+        spec = ArraySpec(name="x", entries=1024, width_bits=512)
+        candidates = list(candidate_organizations(spec))
+        assert candidates
+        assert all(org.fits(spec) for org in candidates)
+
+    def test_tiny_array_has_candidates(self):
+        spec = ArraySpec(name="x", entries=16, width_bits=32)
+        assert list(candidate_organizations(spec))
+
+
+class TestSearch:
+    def test_best_first_ordering(self):
+        spec = ArraySpec(name="x", entries=4096, width_bits=512)
+        banks = search_organizations(TECH, spec)
+        assert len(banks) > 1
+
+    def test_timing_target_prefers_feasible(self):
+        spec = ArraySpec(
+            name="x", entries=8192, width_bits=512,
+            target_access_time=2e-9,
+        )
+        banks = search_organizations(TECH, spec)
+        assert banks[0].access_time <= 2e-9
+
+    def test_delay_weight_finds_fastest(self):
+        spec = ArraySpec(name="x", entries=4096, width_bits=512)
+        fast = search_organizations(
+            TECH, spec,
+            OptimizationWeights(delay=1, dynamic_energy=0, leakage=0, area=0),
+        )[0]
+        all_banks = search_organizations(TECH, spec)
+        assert fast.access_time == min(b.access_time for b in all_banks)
+
+    def test_energy_weight_finds_cheapest(self):
+        spec = ArraySpec(name="x", entries=4096, width_bits=512)
+        cheap = search_organizations(
+            TECH, spec,
+            OptimizationWeights(delay=0, dynamic_energy=1, leakage=0, area=0),
+        )[0]
+        all_banks = search_organizations(TECH, spec)
+        assert cheap.read_energy == min(b.read_energy for b in all_banks)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([64, 256, 1024, 4096]),
+           st.sampled_from([32, 64, 128, 512]))
+    def test_search_always_succeeds_on_sane_specs(self, entries, width):
+        spec = ArraySpec(name="x", entries=entries, width_bits=width)
+        banks = search_organizations(TECH, spec)
+        assert banks[0].read_energy > 0
+        assert banks[0].area > 0

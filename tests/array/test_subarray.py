@@ -1,0 +1,116 @@
+"""Unit tests for the subarray circuit model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array.mat import Subarray
+from repro.array.spec import PortCounts
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+def make(rows=128, cols=128, ports=None, mux=1):
+    return Subarray(
+        tech=TECH, rows=rows, cols=cols,
+        ports=ports or PortCounts(), column_mux_degree=mux,
+    )
+
+
+class TestValidation:
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            make(rows=0)
+
+    def test_mux_must_divide_cols(self):
+        with pytest.raises(ValueError, match="divisible"):
+            make(cols=100, mux=8)
+
+    def test_write_bits_bounds(self):
+        sub = make(cols=64)
+        with pytest.raises(ValueError):
+            sub.bitline_write_energy(65)
+        with pytest.raises(ValueError):
+            sub.bitline_write_energy(-1)
+
+
+class TestTiming:
+    def test_access_delay_composition(self):
+        sub = make()
+        assert sub.access_delay == pytest.approx(
+            sub.decoder_delay + sub.wordline_delay + sub.bitline_delay
+            + sub.senseamp_delay
+        )
+
+    def test_mux_adds_delay(self):
+        assert make(mux=2).access_delay > make(mux=1).access_delay
+
+    def test_taller_subarray_slower_bitlines(self):
+        assert make(rows=512).bitline_delay > make(rows=64).bitline_delay
+
+    def test_wider_subarray_slower_wordlines(self):
+        assert make(cols=1024).wordline_delay > make(cols=64).wordline_delay
+
+    def test_cycle_exceeds_bitline_phase(self):
+        sub = make()
+        assert sub.cycle_time > sub.bitline_delay
+
+
+class TestEnergy:
+    def test_read_energy_composition(self):
+        sub = make()
+        assert sub.read_energy == pytest.approx(
+            sub.decoder_energy + sub.wordline_energy
+            + sub.bitline_read_energy + sub.senseamp_energy
+        )
+
+    def test_bitline_energy_linear_in_cols(self):
+        assert make(cols=256).bitline_read_energy == pytest.approx(
+            2 * make(cols=128).bitline_read_energy, rel=0.1
+        )
+
+    def test_write_energy_exceeds_read_for_full_width(self):
+        """Full-swing writes cost more than low-swing reads per column."""
+        sub = make(mux=1)
+        assert (sub.bitline_write_energy(sub.cols)
+                > sub.bitline_read_energy)
+
+    def test_zero_bits_written_zero_energy(self):
+        assert make().bitline_write_energy(0) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=512),
+           st.integers(min_value=8, max_value=512))
+    def test_energies_positive(self, rows, cols):
+        sub = make(rows=rows, cols=cols)
+        assert sub.read_energy > 0
+        assert sub.write_energy > 0
+
+
+class TestLeakageAndArea:
+    def test_cell_leakage_scales_with_capacity(self):
+        small = make(rows=64, cols=64)
+        big = make(rows=256, cols=256)
+        assert big.cell_leakage_power == pytest.approx(
+            16 * small.cell_leakage_power, rel=0.01
+        )
+
+    def test_multiport_leaks_more(self):
+        multi = make(ports=PortCounts(read_write=2))
+        assert multi.cell_leakage_power > make().cell_leakage_power
+
+    def test_multiport_cells_bigger(self):
+        multi = make(ports=PortCounts(read_write=1, read=2))
+        assert multi.cell_width > make().cell_width
+        assert multi.area > make().area
+
+    def test_area_exceeds_cell_block(self):
+        sub = make()
+        assert sub.area > sub.cell_block_width * sub.cell_block_height
+
+    def test_leakage_temperature_sensitivity(self):
+        hot = Subarray(Technology(node_nm=65, temperature_k=380),
+                       rows=128, cols=128, ports=PortCounts())
+        cold = Subarray(Technology(node_nm=65, temperature_k=320),
+                        rows=128, cols=128, ports=PortCounts())
+        assert hot.cell_leakage_power > 2 * cold.cell_leakage_power

@@ -1,0 +1,97 @@
+"""Unit + property tests for the result tree and report rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chip.results import ComponentResult, combine
+from repro.chip.report import format_report
+
+
+def leaf(name, area=1.0, peak=2.0, runtime=1.0, leak=0.5):
+    return ComponentResult(
+        name=name, area=area, peak_dynamic_power=peak,
+        runtime_dynamic_power=runtime, leakage_power=leak,
+    )
+
+
+class TestAggregation:
+    def test_totals_include_children(self):
+        parent = ComponentResult(
+            name="p", area=1.0, children=(leaf("a"), leaf("b")),
+        )
+        assert parent.total_area == 3.0
+        assert parent.total_peak_dynamic_power == 4.0
+        assert parent.total_leakage_power == 1.0
+
+    def test_deep_nesting(self):
+        tree = combine("root", [combine("mid", [leaf("x"), leaf("y")])])
+        assert tree.total_area == 2.0
+
+    def test_peak_power_sum(self):
+        node = leaf("x")
+        assert node.total_peak_power == pytest.approx(2.5)
+        assert node.total_runtime_power == pytest.approx(1.5)
+
+    def test_negative_metric_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentResult(name="bad", area=-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_scaling_is_linear(self, factor, area):
+        node = combine("root", [leaf("a", area=area), leaf("b")])
+        scaled = node.scaled(factor)
+        assert scaled.total_area == pytest.approx(factor * node.total_area)
+        assert scaled.total_peak_dynamic_power == pytest.approx(
+            factor * node.total_peak_dynamic_power)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            leaf("x").scaled(-1.0)
+
+
+class TestNavigation:
+    def test_child_lookup(self):
+        tree = combine("root", [leaf("a"), leaf("b")])
+        assert tree.child("b").name == "b"
+
+    def test_missing_child_raises_with_names(self):
+        tree = combine("root", [leaf("a")])
+        with pytest.raises(KeyError, match="a"):
+            tree.child("zzz")
+
+    def test_find_descends(self):
+        tree = combine("root", [combine("mid", [leaf("deep")])])
+        assert tree.find("deep").name == "deep"
+
+    def test_walk_covers_all(self):
+        tree = combine("root", [combine("mid", [leaf("deep")]), leaf("top")])
+        names = [n.name for n in tree.walk()]
+        assert names == ["root", "mid", "deep", "top"]
+
+
+class TestReport:
+    def test_report_contains_names_and_units(self):
+        tree = combine("Chip", [leaf("Cores", area=1e-6, peak=10.0)])
+        text = format_report(tree)
+        assert "Chip" in text
+        assert "Cores" in text
+        assert "mm^2" in text
+        assert "W" in text
+
+    def test_depth_limits_output(self):
+        tree = combine("root", [combine("mid", [leaf("deep")])])
+        shallow = format_report(tree, max_depth=1)
+        assert "deep" not in shallow
+        full = format_report(tree, max_depth=5)
+        assert "deep" in full
+
+    def test_runtime_column_optional(self):
+        text = format_report(leaf("x"), include_runtime=False)
+        assert "Runtime" not in text
+
+    def test_small_units_rendered(self):
+        tiny = leaf("t", area=1e-13, peak=1e-7, runtime=0.0, leak=1e-4)
+        text = format_report(tiny)
+        assert "um^2" in text
+        assert "uW" in text or "mW" in text

@@ -1,0 +1,111 @@
+"""Unit tests for gate and transistor models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import (
+    Gate,
+    GateKind,
+    gate_capacitance,
+    on_resistance,
+    subthreshold_leakage_power,
+)
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+class TestTransistorHelpers:
+    def test_gate_capacitance_linear_in_width(self):
+        c1 = gate_capacitance(TECH, 1e-6)
+        c2 = gate_capacitance(TECH, 2e-6)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_on_resistance_inverse_in_width(self):
+        r1 = on_resistance(TECH, 1e-6)
+        r2 = on_resistance(TECH, 2e-6)
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_long_channel_reduces_leakage(self):
+        normal = subthreshold_leakage_power(TECH, 1e-6)
+        lc = subthreshold_leakage_power(TECH, 1e-6, long_channel=True)
+        assert lc < normal
+
+    @pytest.mark.parametrize("width", [0.0, -1e-6])
+    def test_bad_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            gate_capacitance(TECH, width)
+
+
+class TestGateConstruction:
+    def test_inverter_with_fanin_rejected(self):
+        with pytest.raises(ValueError, match="exactly one input"):
+            Gate(TECH, GateKind.INV, fanin=2)
+
+    def test_nand_needs_two_inputs(self):
+        with pytest.raises(ValueError, match="fanin >= 2"):
+            Gate(TECH, GateKind.NAND, fanin=1)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Gate(TECH, size=0.0)
+
+    def test_negative_load_rejected(self):
+        gate = Gate(TECH)
+        with pytest.raises(ValueError):
+            gate.delay(-1e-15)
+        with pytest.raises(ValueError):
+            gate.switching_energy(-1e-15)
+
+
+class TestGatePhysics:
+    def test_fo4_magnitude(self):
+        """Model FO4 at 65nm HP should land near published ~8-14 ps."""
+        inv = Gate(TECH)
+        fo4 = inv.delay(4 * inv.input_capacitance)
+        assert 5e-12 < fo4 < 20e-12
+
+    def test_bigger_gate_drives_faster(self):
+        load = 100e-15
+        small = Gate(TECH, size=1.0)
+        big = Gate(TECH, size=8.0)
+        assert big.delay(load) < small.delay(load)
+
+    def test_bigger_gate_presents_more_input_cap(self):
+        assert (Gate(TECH, size=4.0).input_capacitance
+                > Gate(TECH, size=1.0).input_capacitance)
+
+    def test_nand_slower_than_inverter_at_same_size(self):
+        load = 20e-15
+        inv = Gate(TECH, GateKind.INV)
+        nand = Gate(TECH, GateKind.NAND, fanin=2)
+        assert nand.delay(load) > 0
+        assert nand.input_capacitance > inv.input_capacitance
+
+    def test_energy_increases_with_load(self):
+        gate = Gate(TECH)
+        assert gate.switching_energy(10e-15) > gate.switching_energy(1e-15)
+
+    def test_leakage_scales_with_size(self):
+        assert (Gate(TECH, size=4.0).leakage_power
+                > Gate(TECH, size=1.0).leakage_power)
+
+    def test_area_grows_with_fanin(self):
+        nand2 = Gate(TECH, GateKind.NAND, fanin=2)
+        nand4 = Gate(TECH, GateKind.NAND, fanin=4)
+        assert nand4.area > nand2.area
+
+    def test_inverter_area_magnitude(self):
+        # Sub-um2 to a couple um2 at 65 nm.
+        area_um2 = Gate(TECH).area * 1e12
+        assert 0.1 < area_um2 < 5.0
+
+    @given(st.floats(min_value=0.5, max_value=64.0))
+    def test_delay_positive_for_any_size(self, size):
+        gate = Gate(TECH, size=size)
+        assert gate.delay(10e-15) > 0
+
+    def test_nor_uses_wide_pmos(self):
+        nor = Gate(TECH, GateKind.NOR, fanin=2)
+        inv = Gate(TECH, GateKind.INV)
+        assert nor.input_capacitance > 1.5 * inv.input_capacitance

@@ -1,0 +1,68 @@
+"""Unit tests for the repeated-wire model."""
+
+import pytest
+
+from repro.circuit import RepeatedWire
+from repro.tech import Technology
+from repro.tech.wire import WireType
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+class TestOptimization:
+    def test_delay_per_mm_magnitude(self):
+        wire = RepeatedWire(TECH, WireType.GLOBAL)
+        ps_per_mm = wire.delay_per_length * 1e12 * 1e-3
+        assert 10 < ps_per_mm < 200
+
+    def test_repeated_delay_linear_in_length(self):
+        wire = RepeatedWire(TECH, WireType.GLOBAL)
+        assert wire.delay(2e-3) == pytest.approx(2 * wire.delay(1e-3))
+
+    def test_semi_global_slower_than_global(self):
+        semi = RepeatedWire(TECH, WireType.SEMI_GLOBAL)
+        glob = RepeatedWire(TECH, WireType.GLOBAL)
+        assert semi.delay_per_length > glob.delay_per_length
+
+    def test_delay_penalty_saves_energy(self):
+        fast = RepeatedWire(TECH, WireType.GLOBAL, delay_penalty=1.0)
+        relaxed = RepeatedWire(TECH, WireType.GLOBAL, delay_penalty=1.5)
+        assert relaxed.energy_per_length <= fast.energy_per_length
+        assert relaxed.delay_per_length <= fast.delay_per_length * 1.5 * 1.001
+
+    def test_penalty_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedWire(TECH, WireType.GLOBAL, delay_penalty=0.9)
+
+
+class TestCosts:
+    def test_energy_per_mm_magnitude(self):
+        wire = RepeatedWire(TECH, WireType.GLOBAL)
+        pj_per_mm = wire.energy_per_length * 1e12 * 1e-3
+        assert 0.05 < pj_per_mm < 5.0
+
+    def test_energy_linear_in_length(self):
+        wire = RepeatedWire(TECH, WireType.GLOBAL)
+        assert wire.energy(3e-3) == pytest.approx(3 * wire.energy(1e-3))
+
+    def test_leakage_and_area_linear(self):
+        wire = RepeatedWire(TECH, WireType.GLOBAL)
+        assert wire.leakage_power(2e-3) == pytest.approx(
+            2 * wire.leakage_power(1e-3)
+        )
+        assert wire.repeater_area(2e-3) == pytest.approx(
+            2 * wire.repeater_area(1e-3)
+        )
+
+    def test_negative_length_rejected(self):
+        wire = RepeatedWire(TECH, WireType.GLOBAL)
+        for method in (wire.delay, wire.energy, wire.leakage_power,
+                       wire.repeater_area):
+            with pytest.raises(ValueError):
+                method(-1e-3)
+
+    def test_scaling_wires_get_slower_per_mm(self):
+        old = RepeatedWire(Technology(node_nm=90), WireType.GLOBAL)
+        new = RepeatedWire(Technology(node_nm=22), WireType.GLOBAL)
+        # Wire RC per mm worsens with scaling even for repeated wires.
+        assert new.delay_per_length > old.delay_per_length * 0.5

@@ -1,0 +1,91 @@
+"""Unit tests for flip-flop, crossbar, and arbiter models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import Arbiter, Crossbar, FlipFlop
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+class TestFlipFlop:
+    def test_energy_accumulates(self):
+        ff = FlipFlop(TECH)
+        assert ff.energy(100, 50) == pytest.approx(
+            100 * ff.clock_energy_per_cycle
+            + 50 * ff.data_energy_per_transition
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FlipFlop(TECH).energy(-1, 0)
+
+    def test_data_energy_exceeds_clock_energy(self):
+        ff = FlipFlop(TECH)
+        assert ff.data_energy_per_transition > ff.clock_energy_per_cycle
+
+    def test_size_scales_everything(self):
+        small = FlipFlop(TECH, size=1.0)
+        big = FlipFlop(TECH, size=4.0)
+        assert big.clock_energy_per_cycle > small.clock_energy_per_cycle
+        assert big.leakage_power > small.leakage_power
+        assert big.area > small.area
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlipFlop(TECH, size=0)
+
+    def test_area_magnitude(self):
+        area_um2 = FlipFlop(TECH).area * 1e12
+        assert 1.0 < area_um2 < 20.0
+
+
+class TestCrossbar:
+    def test_square_growth_of_area(self):
+        small = Crossbar(TECH, 4, 4, 64)
+        big = Crossbar(TECH, 8, 8, 64)
+        assert big.area == pytest.approx(4 * small.area, rel=0.01)
+
+    def test_energy_grows_with_ports_and_width(self):
+        base = Crossbar(TECH, 4, 4, 64)
+        more_ports = Crossbar(TECH, 8, 8, 64)
+        wider = Crossbar(TECH, 4, 4, 128)
+        assert more_ports.energy_per_transfer > base.energy_per_transfer
+        assert wider.energy_per_transfer > base.energy_per_transfer
+
+    def test_niagara_class_crossbar_magnitudes(self):
+        """8x9 128-bit crossbar: area O(0.1 mm2), energy O(10 pJ)."""
+        xbar = Crossbar(TECH, 8, 9, 128)
+        assert 0.01 < xbar.area * 1e6 < 2.0
+        assert 1e-12 < xbar.energy_per_transfer < 100e-12
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Crossbar(TECH, 0, 4, 64)
+        with pytest.raises(ValueError):
+            Crossbar(TECH, 4, 4, 0)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=16))
+    def test_delay_positive(self, n_in, n_out):
+        assert Crossbar(TECH, n_in, n_out, 32).delay > 0
+
+
+class TestArbiter:
+    def test_needs_two_requesters(self):
+        with pytest.raises(ValueError):
+            Arbiter(TECH, 1)
+
+    def test_costs_grow_with_requesters(self):
+        small = Arbiter(TECH, 4)
+        big = Arbiter(TECH, 16)
+        assert big.energy_per_arbitration > small.energy_per_arbitration
+        assert big.area > small.area
+        assert big.leakage_power > small.leakage_power
+        assert big.delay >= small.delay
+
+    def test_energy_magnitude(self):
+        # Router-class arbiter energies are tens of fJ.
+        arb = Arbiter(TECH, 5)
+        assert 1e-15 < arb.energy_per_arbitration < 1e-12

@@ -1,0 +1,70 @@
+"""Unit tests for presets and JSON persistence."""
+
+import pytest
+
+from repro.config import load_system_config, presets, save_system_config
+from repro.config.loader import (
+    system_config_from_dict,
+    system_config_to_dict,
+)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", list(presets.VALIDATION_PRESETS))
+    def test_validation_presets_construct(self, name):
+        config = presets.VALIDATION_PRESETS[name]()
+        assert config.n_cores >= 1
+        assert config.clock_hz > 0
+
+    def test_table1_configurations(self):
+        """The paper's Table 1: node and clock of each target."""
+        expected = {
+            "niagara1": (90, 1.2e9, 8),
+            "niagara2": (65, 1.4e9, 8),
+            "alpha21364": (180, 1.2e9, 1),
+            "xeon_tulsa": (65, 3.4e9, 2),
+        }
+        for name, (node, clock, cores) in expected.items():
+            config = presets.VALIDATION_PRESETS[name]()
+            assert config.node_nm == node, name
+            assert config.clock_hz == clock, name
+            assert config.n_cores == cores, name
+
+    def test_ooo_targets_are_ooo(self):
+        assert presets.alpha21364().core.is_ooo
+        assert presets.xeon_tulsa().core.is_ooo
+        assert not presets.niagara1().core.is_ooo
+
+    def test_tulsa_is_x86(self):
+        assert presets.xeon_tulsa().core.is_x86
+
+    def test_manycore_cluster_partitioning(self):
+        config = presets.manycore_cluster(n_cores=64, cores_per_cluster=4)
+        assert config.n_cores == 64
+        assert config.l2.instances == 16
+        assert config.l2.capacity_bytes == 4 * 512 * 1024
+
+    def test_manycore_cluster_uneven_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            presets.manycore_cluster(n_cores=64, cores_per_cluster=3)
+
+
+class TestLoader:
+    @pytest.mark.parametrize("name", list(presets.VALIDATION_PRESETS))
+    def test_dict_round_trip(self, name):
+        config = presets.VALIDATION_PRESETS[name]()
+        data = system_config_to_dict(config)
+        rebuilt = system_config_from_dict(data)
+        assert rebuilt == config
+
+    def test_file_round_trip(self, tmp_path):
+        config = presets.manycore_cluster(n_cores=16, cores_per_cluster=4)
+        path = tmp_path / "chip.json"
+        save_system_config(config, path)
+        assert load_system_config(path) == config
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        data = system_config_to_dict(presets.niagara1())
+        json.dumps(data)  # must not raise

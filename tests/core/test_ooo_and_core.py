@@ -1,0 +1,123 @@
+"""Unit tests for OOO units (rename, scheduler) and core assembly."""
+
+import pytest
+
+from repro.activity import CoreActivity
+from repro.config.schema import CoreConfig
+from repro.core import Core, DynamicScheduler, RenamingUnit
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+CLOCK = 2e9
+
+INORDER = CoreConfig(name="inorder", hardware_threads=2)
+OOO = CoreConfig(
+    name="ooo", is_ooo=True, fetch_width=4, decode_width=4, issue_width=4,
+    commit_width=4, rob_entries=128, issue_window_entries=32,
+    fp_issue_window_entries=16, phys_int_regs=128, phys_fp_regs=128,
+)
+
+
+class TestRenamingUnit:
+    def test_rejects_inorder_cores(self):
+        with pytest.raises(ValueError, match="OOO"):
+            RenamingUnit(TECH, INORDER)
+
+    def test_tree_structure(self):
+        result = RenamingUnit(TECH, OOO).result(CLOCK, CoreActivity(ipc=2.0))
+        names = {c.name for c in result.children}
+        assert {"int_rat", "fp_rat", "int_free_list",
+                "dependency_check"} <= names
+
+    def test_wider_rename_costs_quadratically_in_depcheck(self):
+        narrow = CoreConfig(
+            name="n", is_ooo=True, decode_width=2, issue_width=2,
+            rob_entries=64, issue_window_entries=16, phys_int_regs=64,
+        )
+        dep_wide = RenamingUnit(TECH, OOO).dependency_check
+        dep_narrow = RenamingUnit(TECH, narrow).dependency_check
+        assert dep_wide.comparator_count > 4 * dep_narrow.comparator_count
+
+
+class TestDynamicScheduler:
+    def test_rejects_inorder_cores(self):
+        with pytest.raises(ValueError, match="OOO"):
+            DynamicScheduler(TECH, INORDER)
+
+    def test_tree_structure(self):
+        result = DynamicScheduler(TECH, OOO).result(
+            CLOCK, CoreActivity(ipc=2.0))
+        names = {c.name for c in result.children}
+        assert {"int_window_wakeup", "int_window_payload", "rob",
+                "selection_logic", "fp_window_wakeup"} <= names
+
+    def test_no_fp_window_when_unified(self):
+        unified = CoreConfig(
+            name="u", is_ooo=True, rob_entries=64, issue_window_entries=32,
+            fp_issue_window_entries=0, phys_int_regs=64,
+        )
+        result = DynamicScheduler(TECH, unified).result(CLOCK)
+        assert "fp_window_wakeup" not in {c.name for c in result.children}
+
+    def test_bigger_window_costs_more(self):
+        small_cfg = CoreConfig(
+            name="s", is_ooo=True, rob_entries=64, issue_window_entries=16,
+            phys_int_regs=64,
+        )
+        big_cfg = CoreConfig(
+            name="b", is_ooo=True, rob_entries=64, issue_window_entries=64,
+            phys_int_regs=64,
+        )
+        small = DynamicScheduler(TECH, small_cfg).result(CLOCK)
+        big = DynamicScheduler(TECH, big_cfg).result(CLOCK)
+        assert (big.child("int_window_wakeup").area
+                > small.child("int_window_wakeup").area)
+
+
+class TestCoreAssembly:
+    def test_inorder_has_no_ooo_units(self):
+        core = Core(TECH, INORDER)
+        assert core.renaming is None
+        assert core.scheduler is None
+        names = {c.name for c in core.result(CLOCK).children}
+        assert not any("Renaming" in n or "Scheduler" in n for n in names)
+
+    def test_ooo_has_all_units(self):
+        core = Core(TECH, OOO)
+        names = {c.name for c in core.result(CLOCK).children}
+        assert "Renaming Unit" in names
+        assert "Dynamic Scheduler" in names
+        assert "control_logic" in names
+        assert "pipeline_registers" in names
+
+    def test_ooo_core_bigger_and_hotter_than_inorder(self):
+        simple = Core(TECH, CoreConfig(name="simple")).result(CLOCK)
+        ooo = Core(TECH, OOO).result(CLOCK)
+        assert ooo.total_area > simple.total_area
+        assert ooo.total_peak_dynamic_power > simple.total_peak_dynamic_power
+
+    def test_runtime_scales_with_ipc(self):
+        core = Core(TECH, OOO)
+        slow = core.result(CLOCK, CoreActivity(ipc=0.5))
+        fast = core.result(CLOCK, CoreActivity(ipc=3.0))
+        assert (fast.total_runtime_dynamic_power
+                > slow.total_runtime_dynamic_power)
+
+    def test_duty_cycle_scales_runtime_power(self):
+        core = Core(TECH, INORDER)
+        full = core.result(CLOCK, CoreActivity(ipc=0.8, duty_cycle=1.0))
+        half = core.result(CLOCK, CoreActivity(ipc=0.8, duty_cycle=0.5))
+        assert (half.total_runtime_dynamic_power
+                < full.total_runtime_dynamic_power)
+
+    def test_core_area_square_floorplan(self):
+        core = Core(TECH, INORDER)
+        assert core.side == pytest.approx(core.area**0.5)
+
+    def test_leakage_independent_of_activity(self):
+        core = Core(TECH, INORDER)
+        idle = core.result(CLOCK, None)
+        busy = core.result(CLOCK, CoreActivity(ipc=1.0))
+        assert idle.total_leakage_power == pytest.approx(
+            busy.total_leakage_power
+        )

@@ -1,0 +1,142 @@
+"""Unit tests for the per-unit core models (IFU, MMU, EXU, LSU)."""
+
+import pytest
+
+from repro.activity import CoreActivity
+from repro.config.schema import CacheGeometry, CoreConfig
+from repro.core import (
+    ExecutionUnit,
+    InstructionFetchUnit,
+    LoadStoreUnit,
+    MemoryManagementUnit,
+)
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+CLOCK = 2e9
+
+SIMPLE = CoreConfig(name="simple")
+WIDE = CoreConfig(
+    name="wide", fetch_width=4, decode_width=4, issue_width=4,
+    commit_width=4, int_alus=4, fpus=2,
+)
+ACTIVITY = CoreActivity(ipc=0.8)
+
+
+class TestIfu:
+    def test_tree_structure(self):
+        result = InstructionFetchUnit(TECH, SIMPLE).result(CLOCK, ACTIVITY)
+        names = [c.name for c in result.children]
+        assert "icache" in names
+        assert "instruction_buffer" in names
+        assert "instruction_decoder" in names
+        assert "branch_predictor" in names
+
+    def test_no_branch_predictor_config(self):
+        config = CoreConfig(name="nobp", branch_predictor=None)
+        result = InstructionFetchUnit(TECH, config).result(CLOCK, ACTIVITY)
+        names = [c.name for c in result.children]
+        assert "branch_predictor" not in names
+        assert "btb" not in names
+
+    def test_peak_exceeds_runtime(self):
+        result = InstructionFetchUnit(TECH, SIMPLE).result(
+            CLOCK, CoreActivity(ipc=0.2)
+        )
+        assert (result.total_peak_dynamic_power
+                > result.total_runtime_dynamic_power)
+
+    def test_no_activity_means_zero_runtime(self):
+        result = InstructionFetchUnit(TECH, SIMPLE).result(CLOCK, None)
+        assert result.total_runtime_dynamic_power == 0.0
+        assert result.total_peak_dynamic_power > 0.0
+
+    def test_x86_decoder_visible(self):
+        x86 = CoreConfig(name="x86", is_x86=True)
+        risc = InstructionFetchUnit(TECH, SIMPLE).result(CLOCK, ACTIVITY)
+        cisc = InstructionFetchUnit(TECH, x86).result(CLOCK, ACTIVITY)
+        assert (cisc.child("instruction_decoder").area
+                > 5 * risc.child("instruction_decoder").area)
+
+    def test_bigger_icache_more_leakage(self):
+        big = CoreConfig(name="big", icache=CacheGeometry(
+            capacity_bytes=64 * 1024))
+        small = CoreConfig(name="small", icache=CacheGeometry(
+            capacity_bytes=8 * 1024))
+        big_leak = InstructionFetchUnit(TECH, big).result(
+            CLOCK).child("icache").leakage_power
+        small_leak = InstructionFetchUnit(TECH, small).result(
+            CLOCK).child("icache").leakage_power
+        assert big_leak > small_leak
+
+
+class TestMmu:
+    def test_both_tlbs_present(self):
+        result = MemoryManagementUnit(TECH, SIMPLE).result(CLOCK, ACTIVITY)
+        assert result.child("itlb").area > 0
+        assert result.child("dtlb").area > 0
+
+    def test_dtlb_tracks_memory_traffic(self):
+        busy = MemoryManagementUnit(TECH, SIMPLE).result(
+            CLOCK, CoreActivity(ipc=1.0, load_fraction=0.4))
+        idle = MemoryManagementUnit(TECH, SIMPLE).result(
+            CLOCK, CoreActivity(ipc=1.0, load_fraction=0.05))
+        assert (busy.child("dtlb").runtime_dynamic_power
+                > idle.child("dtlb").runtime_dynamic_power)
+
+
+class TestExu:
+    def test_tree_structure(self):
+        result = ExecutionUnit(TECH, SIMPLE).result(CLOCK, ACTIVITY)
+        names = {c.name for c in result.children}
+        assert {"int_regfile", "fp_regfile", "integer_alus", "fpus",
+                "mul_div", "bypass_network"} <= names
+
+    def test_wider_issue_bigger_regfile_and_bypass(self):
+        narrow = ExecutionUnit(TECH, SIMPLE).result(CLOCK)
+        wide = ExecutionUnit(TECH, WIDE).result(CLOCK)
+        assert (wide.child("int_regfile").area
+                > narrow.child("int_regfile").area)
+        assert (wide.child("bypass_network").leakage_power
+                > narrow.child("bypass_network").leakage_power)
+
+    def test_fp_heavy_workload_heats_fpu(self):
+        fp_heavy = CoreActivity(ipc=1.0, fp_fraction=0.5)
+        int_only = CoreActivity(ipc=1.0, fp_fraction=0.0)
+        exu = ExecutionUnit(TECH, SIMPLE)
+        hot = exu.result(CLOCK, fp_heavy).child("fpus")
+        cold = exu.result(CLOCK, int_only).child("fpus")
+        assert hot.runtime_dynamic_power > cold.runtime_dynamic_power
+        assert cold.runtime_dynamic_power == 0.0
+
+    def test_ooo_uses_physical_registers(self):
+        ooo = CoreConfig(
+            name="ooo", is_ooo=True, rob_entries=64,
+            issue_window_entries=32, phys_int_regs=128, phys_fp_regs=128,
+        )
+        exu_ooo = ExecutionUnit(TECH, ooo)
+        exu_simple = ExecutionUnit(TECH, SIMPLE)
+        assert (exu_ooo.int_regfile.spec.entries
+                > exu_simple.int_regfile.spec.entries)
+
+
+class TestLsu:
+    def test_tree_structure(self):
+        result = LoadStoreUnit(TECH, SIMPLE).result(CLOCK, ACTIVITY)
+        names = {c.name for c in result.children}
+        assert {"dcache", "load_queue", "store_queue"} <= names
+
+    def test_zero_queues_omitted(self):
+        config = CoreConfig(name="noq", load_queue_entries=0,
+                            store_queue_entries=0)
+        result = LoadStoreUnit(TECH, config).result(CLOCK, ACTIVITY)
+        names = {c.name for c in result.children}
+        assert "load_queue" not in names
+        assert "store_queue" not in names
+
+    def test_memory_traffic_drives_dcache_power(self):
+        lsu = LoadStoreUnit(TECH, SIMPLE)
+        heavy = lsu.result(CLOCK, CoreActivity(ipc=1.0, load_fraction=0.45))
+        light = lsu.result(CLOCK, CoreActivity(ipc=1.0, load_fraction=0.05))
+        assert (heavy.child("dcache").runtime_dynamic_power
+                > light.child("dcache").runtime_dynamic_power)

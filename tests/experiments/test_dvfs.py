@@ -1,0 +1,57 @@
+"""Integration tests for the DVFS extension experiment."""
+
+import pytest
+
+from repro.config import presets
+from repro.experiments.dvfs import (
+    DvfsPoint,
+    format_dvfs_table,
+    run_dvfs_study,
+)
+from repro.perf import SPLASH2_PROFILES
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_dvfs_study(
+        base_config=presets.manycore_cluster(
+            n_cores=8, cores_per_cluster=2),
+        workload=SPLASH2_PROFILES["lu"],
+        voltage_points=(0.85, 1.0, 1.1),
+    )
+
+
+class TestDvfsStudy:
+    def test_point_count(self, points):
+        assert len(points) == 3
+
+    def test_throughput_rises_with_voltage(self, points):
+        ordered = sorted(points, key=lambda p: p.vdd_v)
+        gips = [p.throughput_gips for p in ordered]
+        assert gips == sorted(gips)
+
+    def test_power_rises_with_voltage(self, points):
+        ordered = sorted(points, key=lambda p: p.vdd_v)
+        power = [p.power_w for p in ordered]
+        assert power == sorted(power)
+
+    def test_epi_falls_with_undervolting(self, points):
+        ordered = sorted(points, key=lambda p: p.vdd_v)
+        epis = [p.epi_nj for p in ordered]
+        assert epis == sorted(epis)
+
+    def test_undervolting_is_superlinear_power_win(self, points):
+        ordered = sorted(points, key=lambda p: p.vdd_v)
+        low, nominal = ordered[0], ordered[1]
+        throughput_ratio = low.throughput_gips / nominal.throughput_gips
+        power_ratio = low.power_w / nominal.power_w
+        assert power_ratio < throughput_ratio
+
+    def test_epi_property(self):
+        point = DvfsPoint(vdd_v=1.0, clock_hz=1e9, throughput_gips=10.0,
+                          power_w=20.0, tdp_w=40.0)
+        assert point.epi_nj == pytest.approx(2.0)
+
+    def test_table_renders(self, points):
+        text = format_dvfs_table(points)
+        assert "EPI" in text

@@ -1,0 +1,139 @@
+"""Integration tests for the experiment drivers (tables & figures)."""
+
+import pytest
+
+from repro.experiments import (
+    PUBLISHED,
+    format_clustering_table,
+    format_scaling_table,
+    format_validation_table,
+    optimal_cluster_size,
+    run_clustering_study,
+    run_tech_scaling,
+    run_validation,
+)
+from repro.tech import DeviceType
+
+
+@pytest.fixture(scope="module")
+def validation_rows():
+    return run_validation()
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    return run_tech_scaling()
+
+
+@pytest.fixture(scope="module")
+def cluster_points():
+    # 16 cores keeps the sweep quick while preserving the shape.
+    return run_clustering_study(
+        n_cores=16, cluster_sizes=(1, 2, 4, 8),
+        workload_names=("barnes", "ocean", "lu"),
+    )
+
+
+class TestValidation:
+    def test_all_chips_covered(self, validation_rows):
+        chips = {row.chip for row in validation_rows}
+        assert chips == set(PUBLISHED)
+
+    def test_chip_power_within_paper_band(self, validation_rows):
+        """The paper's headline: chip power errors within ~10-23%."""
+        for row in validation_rows:
+            if row.metric == "power_w":
+                assert abs(row.error_fraction) < 0.25, row
+
+    def test_component_ranking_niagara(self, validation_rows):
+        """Cores must dominate Niagara's power, as published."""
+        by_metric = {
+            row.metric: row for row in validation_rows
+            if row.chip == "niagara1"
+        }
+        cores = by_metric["power:cores"].modeled
+        assert cores > by_metric["power:l2"].modeled
+        assert cores > by_metric["power:noc"].modeled
+
+    def test_l3_is_major_term_in_tulsa(self, validation_rows):
+        by_metric = {
+            row.metric: row for row in validation_rows
+            if row.chip == "xeon_tulsa"
+        }
+        assert by_metric["power:l3"].modeled > by_metric["power:l2"].modeled
+
+    def test_table_renders(self, validation_rows):
+        text = format_validation_table(validation_rows)
+        assert "niagara1" in text
+        assert "%" in text
+
+
+class TestTechScaling:
+    def test_covers_nodes_and_flavors(self, scaling_rows):
+        nodes = {r.node_nm for r in scaling_rows}
+        flavors = {r.device_type for r in scaling_rows}
+        assert nodes == {90, 65, 45, 32, 22}
+        assert flavors == {DeviceType.HP, DeviceType.LSTP}
+
+    def test_area_shrinks_with_node(self, scaling_rows):
+        hp = sorted((r for r in scaling_rows
+                     if r.device_type is DeviceType.HP),
+                    key=lambda r: -r.node_nm)
+        areas = [r.area_mm2 for r in hp]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_dynamic_power_shrinks_with_node(self, scaling_rows):
+        hp = sorted((r for r in scaling_rows
+                     if r.device_type is DeviceType.HP),
+                    key=lambda r: -r.node_nm)
+        dyn = [r.peak_dynamic_w for r in hp]
+        assert dyn == sorted(dyn, reverse=True)
+
+    def test_hp_leakage_fraction_grows(self, scaling_rows):
+        hp = sorted((r for r in scaling_rows
+                     if r.device_type is DeviceType.HP),
+                    key=lambda r: -r.node_nm)
+        fractions = [r.leakage_fraction for r in hp]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.4  # leakage dominates at 22nm HP
+
+    def test_lstp_leakage_negligible(self, scaling_rows):
+        for row in scaling_rows:
+            if row.device_type is DeviceType.LSTP:
+                assert row.leakage_fraction < 0.05
+
+    def test_table_renders(self, scaling_rows):
+        assert "lstp" in format_scaling_table(scaling_rows)
+
+
+class TestClustering:
+    def test_noc_power_monotone_decreasing(self, cluster_points):
+        noc = [p.noc_power_w for p in cluster_points]
+        assert noc == sorted(noc, reverse=True)
+
+    def test_interior_or_boundary_optimum_exists(self, cluster_points):
+        best_edp = optimal_cluster_size(cluster_points, "edp")
+        assert best_edp in {p.cores_per_cluster for p in cluster_points}
+
+    def test_ed2p_optimum_not_larger_than_edp_optimum_by_much(
+            self, cluster_points):
+        """ED^2P weighs delay harder, so its optimum is at most the EDP
+        optimum (or one step off in this quantized sweep)."""
+        edp_opt = optimal_cluster_size(cluster_points, "edp")
+        ed2p_opt = optimal_cluster_size(cluster_points, "ed2p")
+        assert ed2p_opt <= 2 * edp_opt
+
+    def test_uneven_cluster_size_rejected(self):
+        with pytest.raises(ValueError):
+            run_clustering_study(n_cores=16, cluster_sizes=(3,),
+                                 workload_names=("lu",))
+
+    def test_energy_delay_identities(self, cluster_points):
+        for p in cluster_points:
+            assert p.energy_j == pytest.approx(p.power_w * p.runtime_s)
+            assert p.edp == pytest.approx(p.energy_j * p.runtime_s)
+            assert p.ed2p == pytest.approx(p.edp * p.runtime_s)
+
+    def test_table_renders(self, cluster_points):
+        text = format_clustering_table(cluster_points)
+        assert "EDP" in text

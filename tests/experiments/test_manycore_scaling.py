@@ -1,0 +1,42 @@
+"""Tests for the manycore-scaling extension experiment."""
+
+import pytest
+
+from repro.experiments.manycore_scaling import (
+    ScalingPoint,
+    format_scaling_points,
+    run_manycore_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_manycore_scaling(nodes=(65, 22))
+
+
+class TestManycoreScaling:
+    def test_budgets_respected(self, points):
+        for p in points:
+            assert p.area_mm2 <= 260.0
+            assert p.tdp_w <= 130.0
+
+    def test_smaller_node_fits_more_cores(self, points):
+        by_node = {p.node_nm: p for p in points}
+        assert by_node[22].max_cores >= by_node[65].max_cores
+
+    def test_limiter_labels(self, points):
+        for p in points:
+            assert p.limiter in ("area", "power", "none")
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="bust the budget"):
+            run_manycore_scaling(nodes=(90,), area_budget_mm2=1.0)
+
+    def test_table_renders(self, points):
+        assert "limited by" in format_scaling_points(points)
+
+    def test_point_is_frozen_dataclass(self):
+        p = ScalingPoint(node_nm=22, max_cores=32, area_mm2=70.0,
+                         tdp_w=90.0, limiter="power")
+        with pytest.raises(AttributeError):
+            p.max_cores = 64

@@ -1,0 +1,37 @@
+"""Integration tests for the temperature extension experiment."""
+
+import pytest
+
+from repro.config import presets
+from repro.experiments.temperature import (
+    TemperaturePoint,
+    format_temperature_table,
+    run_temperature_study,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_temperature_study(
+        base_config=presets.manycore_cluster(
+            n_cores=4, cores_per_cluster=2),
+        temperatures_k=(300.0, 340.0, 380.0),
+    )
+
+
+class TestTemperatureStudy:
+    def test_leakage_monotone(self, points):
+        leaks = [p.leakage_w for p in points]
+        assert leaks == sorted(leaks)
+
+    def test_growth_magnitude(self, points):
+        ratio = points[-1].leakage_w / points[0].leakage_w
+        assert 3.0 < ratio < 30.0
+
+    def test_fraction_property(self):
+        point = TemperaturePoint(temperature_k=360, leakage_w=20,
+                                 tdp_w=100)
+        assert point.leakage_fraction == pytest.approx(0.2)
+
+    def test_table_renders(self, points):
+        assert "leak %" in format_temperature_table(points)

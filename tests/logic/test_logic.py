@@ -1,0 +1,166 @@
+"""Unit tests for functional units and structured random logic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    DependencyCheck,
+    FunctionalUnit,
+    FunctionalUnitKind,
+    InstructionDecoder,
+    PipelineRegisters,
+    SelectionLogic,
+)
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+TECH90 = Technology(node_nm=90, temperature_k=360)
+
+
+class TestFunctionalUnits:
+    def test_reference_magnitudes(self):
+        """At the 90nm reference: ALU ~25 pJ, FPU ~120 pJ (full lane)."""
+        alu = FunctionalUnit(TECH90, FunctionalUnitKind.INT_ALU)
+        fpu = FunctionalUnit(TECH90, FunctionalUnitKind.FPU)
+        assert alu.energy_per_op == pytest.approx(25e-12)
+        assert fpu.energy_per_op == pytest.approx(120e-12)
+
+    def test_fpu_costlier_than_alu(self):
+        alu = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU)
+        fpu = FunctionalUnit(TECH, FunctionalUnitKind.FPU)
+        assert fpu.energy_per_op > alu.energy_per_op
+        assert fpu.area_per_unit > alu.area_per_unit
+
+    def test_scaling_down_saves_energy_and_area(self):
+        at_90 = FunctionalUnit(TECH90, FunctionalUnitKind.INT_ALU)
+        at_22 = FunctionalUnit(
+            Technology(node_nm=22, temperature_k=360),
+            FunctionalUnitKind.INT_ALU,
+        )
+        assert at_22.energy_per_op < at_90.energy_per_op
+        assert at_22.area_per_unit < at_90.area_per_unit
+
+    def test_count_scales_bank(self):
+        one = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU, count=1)
+        four = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU, count=4)
+        assert four.area == pytest.approx(4 * one.area)
+        assert four.leakage_power == pytest.approx(4 * one.leakage_power)
+        assert four.energy_per_op == one.energy_per_op
+
+    def test_zero_count_allowed(self):
+        none = FunctionalUnit(TECH, FunctionalUnitKind.FPU, count=0)
+        assert none.area == 0.0
+        assert none.leakage_power == 0.0
+
+    def test_width_scaling(self):
+        w32 = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU, width_bits=32)
+        w64 = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU, width_bits=64)
+        assert w32.energy_per_op == pytest.approx(w64.energy_per_op / 2)
+
+    def test_multiplier_width_superlinear(self):
+        w32 = FunctionalUnit(TECH, FunctionalUnitKind.MUL_DIV, width_bits=32)
+        w64 = FunctionalUnit(TECH, FunctionalUnitKind.MUL_DIV, width_bits=64)
+        assert w64.energy_per_op > 2 * w32.energy_per_op
+
+    def test_peak_dynamic_power(self):
+        alu = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU, count=2)
+        power = alu.peak_dynamic_power(2e9, duty=0.5)
+        assert power == pytest.approx(2 * 2e9 * 0.5 * alu.energy_per_op)
+
+    def test_invalid_duty_rejected(self):
+        alu = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU)
+        with pytest.raises(ValueError):
+            alu.peak_dynamic_power(1e9, duty=1.5)
+
+    def test_dynamic_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FunctionalUnit(TECH, FunctionalUnitKind.FPU).dynamic_power(-1)
+
+
+class TestInstructionDecoder:
+    def test_x86_much_bigger_than_risc(self):
+        risc = InstructionDecoder(TECH, decode_width=4)
+        x86 = InstructionDecoder(TECH, decode_width=4, is_x86=True)
+        assert x86.area > 10 * risc.area
+        assert x86.energy_per_instruction > 10 * risc.energy_per_instruction
+
+    def test_width_scales_area_not_per_instruction_energy(self):
+        one = InstructionDecoder(TECH, decode_width=1)
+        four = InstructionDecoder(TECH, decode_width=4)
+        assert four.area == pytest.approx(4 * one.area)
+        assert four.energy_per_instruction == pytest.approx(
+            one.energy_per_instruction
+        )
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionDecoder(TECH, decode_width=0)
+
+
+class TestDependencyCheck:
+    def test_single_issue_has_no_comparators(self):
+        assert DependencyCheck(TECH, width=1).comparator_count == 0
+
+    def test_quadratic_growth(self):
+        w2 = DependencyCheck(TECH, width=2)
+        w8 = DependencyCheck(TECH, width=8)
+        # (8*7/2) / (2*1/2) = 28x comparators.
+        assert w8.comparator_count == 28 * w2.comparator_count
+
+    def test_costs_track_comparators(self):
+        w2 = DependencyCheck(TECH, width=2)
+        w4 = DependencyCheck(TECH, width=4)
+        assert w4.energy_per_cycle > w2.energy_per_cycle
+        assert w4.area > w2.area
+        assert w4.leakage_power > w2.leakage_power
+
+
+class TestSelectionLogic:
+    def test_tree_depth_radix4(self):
+        assert SelectionLogic(TECH, window_entries=64).tree_depth == 3
+        assert SelectionLogic(TECH, window_entries=16).tree_depth == 2
+
+    def test_cell_count_covers_window(self):
+        sel = SelectionLogic(TECH, window_entries=64)
+        assert sel.cell_count >= 64 // 4
+
+    def test_bigger_window_slower(self):
+        small = SelectionLogic(TECH, window_entries=16)
+        big = SelectionLogic(TECH, window_entries=128)
+        assert big.delay > small.delay
+        assert big.energy_per_selection > small.energy_per_selection
+
+    def test_issue_width_replicates_trees(self):
+        one = SelectionLogic(TECH, window_entries=32, issue_width=1)
+        four = SelectionLogic(TECH, window_entries=32, issue_width=4)
+        assert four.area == pytest.approx(4 * one.area)
+        assert four.leakage_power == pytest.approx(4 * one.leakage_power)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=256))
+    def test_invariants(self, entries):
+        sel = SelectionLogic(TECH, window_entries=entries)
+        assert sel.delay > 0
+        assert sel.energy_per_selection > 0
+
+
+class TestPipelineRegisters:
+    def test_flop_count(self):
+        regs = PipelineRegisters(TECH, stages=8, bits_per_stage=100, lanes=2)
+        assert regs.flop_count == 1600
+
+    def test_deeper_pipeline_burns_more_clock_energy(self):
+        shallow = PipelineRegisters(TECH, stages=6)
+        deep = PipelineRegisters(TECH, stages=20)
+        assert deep.clock_energy_per_cycle > shallow.clock_energy_per_cycle
+
+    def test_dynamic_power_composition(self):
+        regs = PipelineRegisters(TECH, stages=10)
+        idle = regs.dynamic_power(2e9, activity=0.0)
+        busy = regs.dynamic_power(2e9, activity=1.0)
+        assert idle > 0  # clock never stops in this model
+        assert busy > idle
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineRegisters(TECH, stages=10).dynamic_power(1e9, activity=2)

@@ -1,0 +1,41 @@
+"""Unit tests for cross-node scaling helpers."""
+
+import pytest
+
+from repro.tech.device import DeviceType
+from repro.tech.scaling import area_scale, dynamic_energy_scale, frequency_scale
+
+
+class TestAreaScale:
+    def test_identity(self):
+        assert area_scale(65, 65) == 1.0
+
+    def test_shrink_is_quadratic(self):
+        assert area_scale(90, 45) == pytest.approx(0.25)
+
+    def test_inverse(self):
+        assert area_scale(45, 90) == pytest.approx(1 / area_scale(90, 45))
+
+
+class TestEnergyScale:
+    def test_identity(self):
+        assert dynamic_energy_scale(65, 65) == pytest.approx(1.0)
+
+    def test_energy_shrinks_with_node(self):
+        assert dynamic_energy_scale(90, 22) < 1.0
+
+    def test_energy_grows_scaling_up(self):
+        assert dynamic_energy_scale(45, 90) > 1.0
+
+    def test_chain_rule(self):
+        via = dynamic_energy_scale(90, 45) * dynamic_energy_scale(45, 22)
+        direct = dynamic_energy_scale(90, 22)
+        assert via == pytest.approx(direct, rel=1e-9)
+
+
+class TestFrequencyScale:
+    def test_newer_nodes_are_faster(self):
+        assert frequency_scale(90, 45, DeviceType.HP) > 1.0
+
+    def test_identity(self):
+        assert frequency_scale(32, 32) == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for DVFS voltage scaling in the technology layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech import DeviceType, Technology
+from repro.tech.device import device_parameters
+
+
+class TestDeviceAtVoltage:
+    def test_undervolting_reduces_drive_and_leakage(self):
+        nominal = device_parameters(45, DeviceType.HP)
+        low = nominal.at_voltage(0.8)
+        assert low.i_on < nominal.i_on
+        assert low.i_off < nominal.i_off
+        assert low.i_gate < nominal.i_gate
+        assert low.vdd == 0.8
+
+    def test_overvolting_increases_drive(self):
+        nominal = device_parameters(45, DeviceType.HP)
+        high = nominal.at_voltage(1.2)
+        assert high.i_on > nominal.i_on
+
+    def test_near_threshold_rejected(self):
+        nominal = device_parameters(45, DeviceType.HP)  # vth = 0.18
+        with pytest.raises(ValueError, match="too close"):
+            nominal.at_voltage(0.2)
+
+    def test_identity_at_nominal(self):
+        nominal = device_parameters(65, DeviceType.HP)
+        same = nominal.at_voltage(nominal.vdd)
+        assert same.i_on == pytest.approx(nominal.i_on)
+        assert same.i_off == pytest.approx(nominal.i_off)
+
+    @given(st.floats(min_value=0.7, max_value=1.3))
+    def test_monotone_drive_current(self, vdd):
+        nominal = device_parameters(65, DeviceType.HP)
+        scaled = nominal.at_voltage(vdd)
+        if vdd < nominal.vdd:
+            assert scaled.i_on <= nominal.i_on
+        else:
+            assert scaled.i_on >= nominal.i_on
+
+
+class TestTechnologyAtVoltage:
+    def test_override_applied(self):
+        tech = Technology(node_nm=45).at_voltage(0.85)
+        assert tech.vdd == 0.85
+
+    def test_fo4_slows_at_low_voltage(self):
+        nominal = Technology(node_nm=45)
+        low = nominal.at_voltage(0.8)
+        assert low.fo4_delay > nominal.fo4_delay
+
+    def test_max_clock_scale(self):
+        nominal = Technology(node_nm=45)
+        assert nominal.max_clock_scale == 1.0
+        low = nominal.at_voltage(0.8)
+        assert low.max_clock_scale < 1.0
+        high = nominal.at_voltage(1.1)
+        assert high.max_clock_scale > 1.0
+
+    def test_energy_quadratic_win(self):
+        """Gate switching energy falls faster than linearly with Vdd."""
+        from repro.circuit import Gate
+
+        nominal = Technology(node_nm=45)
+        low = nominal.at_voltage(0.8)
+        e_nom = Gate(nominal).switching_energy(10e-15)
+        e_low = Gate(low).switching_energy(10e-15)
+        assert e_low < e_nom * (0.8 / 1.0) ** 1.9
+
+    def test_scaled_drops_override(self):
+        tech = Technology(node_nm=45).at_voltage(0.8)
+        assert tech.scaled(32).vdd_override is None

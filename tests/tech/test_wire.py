@@ -1,0 +1,95 @@
+"""Unit tests for wire parameter tables and RC helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech.wire import (
+    WireType,
+    wire_delay_unrepeated,
+    wire_energy,
+    wire_parameters,
+)
+
+NODES = (180, 90, 65, 45, 32, 22)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("node", NODES)
+    @pytest.mark.parametrize("plane", list(WireType))
+    def test_all_planes_present(self, node, plane):
+        params = wire_parameters(node, plane)
+        assert params.pitch > 0
+        assert params.thickness > params.width / 2
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError, match="supported nodes"):
+            wire_parameters(28, WireType.GLOBAL)
+
+    @pytest.mark.parametrize("node", NODES)
+    def test_plane_pitch_ordering(self, node):
+        local = wire_parameters(node, WireType.LOCAL)
+        semi = wire_parameters(node, WireType.SEMI_GLOBAL)
+        glob = wire_parameters(node, WireType.GLOBAL)
+        assert local.pitch < semi.pitch < glob.pitch
+
+
+class TestElectrical:
+    def test_capacitance_magnitude(self):
+        """Total wire cap should be around 0.15-0.35 fF/um at every node."""
+        for node in NODES:
+            for plane in WireType:
+                c_ff_per_um = (
+                    wire_parameters(node, plane).capacitance_per_length
+                    * 1e15 / 1e6
+                )
+                assert 0.10 < c_ff_per_um < 0.50, (node, plane, c_ff_per_um)
+
+    def test_resistance_grows_as_wires_shrink(self):
+        resistances = [
+            wire_parameters(n, WireType.SEMI_GLOBAL).resistance_per_length
+            for n in sorted(NODES, reverse=True)
+        ]
+        assert resistances == sorted(resistances)
+
+    @pytest.mark.parametrize("node", NODES)
+    def test_global_wires_are_lower_resistance(self, node):
+        semi = wire_parameters(node, WireType.SEMI_GLOBAL)
+        glob = wire_parameters(node, WireType.GLOBAL)
+        assert glob.resistance_per_length < semi.resistance_per_length
+
+    def test_resistivity_exceeds_bulk_copper(self):
+        for node in NODES:
+            params = wire_parameters(node, WireType.LOCAL)
+            assert params.resistivity > 1.72e-8
+
+
+class TestDelayAndEnergy:
+    def test_unrepeated_delay_is_quadratic_in_length(self):
+        params = wire_parameters(65, WireType.GLOBAL)
+        d1 = wire_delay_unrepeated(params, 1e-3)
+        d2 = wire_delay_unrepeated(params, 2e-3)
+        assert d2 == pytest.approx(4 * d1, rel=1e-9)
+
+    def test_driver_terms_add_delay(self):
+        params = wire_parameters(65, WireType.GLOBAL)
+        bare = wire_delay_unrepeated(params, 1e-3)
+        driven = wire_delay_unrepeated(
+            params, 1e-3, drive_resistance=1e3, load_capacitance=10e-15
+        )
+        assert driven > bare
+
+    def test_energy_linear_in_length(self):
+        params = wire_parameters(32, WireType.SEMI_GLOBAL)
+        e1 = wire_energy(params, 1e-3, vdd=0.9)
+        e2 = wire_energy(params, 2e-3, vdd=0.9)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_negative_length_rejected(self):
+        params = wire_parameters(32, WireType.SEMI_GLOBAL)
+        with pytest.raises(ValueError):
+            wire_energy(params, -1.0, vdd=0.9)
+
+    @given(st.floats(min_value=1e-6, max_value=1e-2))
+    def test_delay_positive(self, length):
+        params = wire_parameters(45, WireType.GLOBAL)
+        assert wire_delay_unrepeated(params, length) > 0

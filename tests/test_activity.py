@@ -1,0 +1,70 @@
+"""Unit tests for the activity dataclasses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.activity import (
+    CacheActivity,
+    CoreActivity,
+    MemoryControllerActivity,
+    NocActivity,
+    SystemActivity,
+)
+
+
+class TestCoreActivity:
+    def test_defaults_valid(self):
+        act = CoreActivity(ipc=1.0)
+        assert act.fetch_factor > 1.0
+
+    def test_negative_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            CoreActivity(ipc=-0.1)
+
+    @pytest.mark.parametrize("field", [
+        "duty_cycle", "load_fraction", "store_fraction", "branch_fraction",
+        "fp_fraction", "mul_fraction", "icache_miss_rate",
+        "dcache_miss_rate",
+    ])
+    def test_fractions_bounded(self, field):
+        with pytest.raises(ValueError, match=field):
+            CoreActivity(ipc=1.0, **{field: 1.5})
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_peak_scales_with_issue_width(self, width):
+        peak = CoreActivity.peak(width)
+        assert peak.ipc >= 1.0
+        assert peak.ipc <= width
+        assert peak.duty_cycle == 1.0
+
+    def test_peak_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CoreActivity.peak(0)
+
+
+class TestOtherActivities:
+    def test_cache_activity_peak(self):
+        peak = CacheActivity.peak(banks=4)
+        assert peak.accesses_per_cycle == 4.0
+
+    def test_cache_activity_validation(self):
+        with pytest.raises(ValueError):
+            CacheActivity(accesses_per_cycle=-1)
+        with pytest.raises(ValueError):
+            CacheActivity(accesses_per_cycle=1, miss_rate=2.0)
+
+    def test_noc_activity(self):
+        assert NocActivity.peak().flits_per_cycle_per_router == 1.0
+        with pytest.raises(ValueError):
+            NocActivity(flits_per_cycle_per_router=-0.1)
+
+    def test_mc_activity(self):
+        peak = MemoryControllerActivity.peak(channels=2)
+        assert peak.reads_per_cycle == 1.0
+        with pytest.raises(ValueError):
+            MemoryControllerActivity(reads_per_cycle=-1)
+
+    def test_system_bundle_defaults(self):
+        bundle = SystemActivity(core=CoreActivity(ipc=1.0))
+        assert bundle.l2 is None
+        assert bundle.noc.flits_per_cycle_per_router >= 0

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import presets, save_system_config
+
+
+class TestReport:
+    def test_preset_report(self, capsys):
+        assert main(["report", "niagara1", "--depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TDP" in out
+        assert "mm^2" in out
+        assert "Niagara" in out
+
+    def test_json_config_report(self, tmp_path, capsys):
+        path = tmp_path / "chip.json"
+        save_system_config(
+            presets.manycore_cluster(n_cores=4, cores_per_cluster=2), path)
+        assert main(["report", str(path), "--depth", "1"]) == 0
+        assert "TDP" in capsys.readouterr().out
+
+    def test_unknown_config_fails(self):
+        with pytest.raises(SystemExit, match="unknown config"):
+            main(["report", "not-a-chip"])
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExperimentCommands:
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "lstp" in out
+        assert "leak %" in out
+
+    def test_clustering_small(self, capsys):
+        assert main(["clustering", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "EDP" in out

@@ -1,0 +1,119 @@
+"""Cross-layer property-based tests.
+
+These hypothesis suites exercise invariants that must hold across the
+whole modeling stack — whatever the configuration, the physics cannot go
+negative, totals must equal the sum of their parts, and first-order
+monotonicities (more hardware costs more; hotter leaks more) must hold.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.activity import CoreActivity
+from repro.chip import Processor
+from repro.config.schema import CacheGeometry, CoreConfig, SystemConfig
+from repro.core import Core
+from repro.tech import Technology
+from repro.units import KB
+
+NODES = st.sampled_from([90, 65, 45, 32, 22])
+
+CORE_CONFIGS = st.builds(
+    CoreConfig,
+    hardware_threads=st.sampled_from([1, 2, 4]),
+    issue_width=st.sampled_from([1, 2, 4]),
+    int_alus=st.integers(min_value=1, max_value=4),
+    fpus=st.integers(min_value=0, max_value=2),
+    pipeline_stages=st.sampled_from([6, 10, 16]),
+    icache=st.sampled_from([
+        CacheGeometry(capacity_bytes=8 * KB),
+        CacheGeometry(capacity_bytes=32 * KB),
+    ]),
+)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(node=NODES, config=CORE_CONFIGS)
+def test_core_results_physical(node, config):
+    """Every randomly configured core yields physical, consistent results."""
+    tech = Technology(node_nm=node, temperature_k=360)
+    result = Core(tech, config).result(2e9, CoreActivity(ipc=0.8))
+    for metric_node in result.walk():
+        assert metric_node.area >= 0
+        assert metric_node.peak_dynamic_power >= 0
+        assert metric_node.runtime_dynamic_power >= 0
+        assert metric_node.leakage_power >= 0
+    # Inclusive totals equal the recursive sums by construction; check
+    # one level explicitly.
+    assert result.total_area == pytest.approx(
+        result.area + sum(c.total_area for c in result.children))
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=CORE_CONFIGS)
+def test_core_peak_never_below_runtime(config):
+    """TDP activity upper-bounds any sane runtime activity."""
+    tech = Technology(node_nm=45, temperature_k=360)
+    activity = CoreActivity(ipc=min(0.9, 0.4 * config.issue_width))
+    result = Core(tech, config).result(2e9, activity)
+    assert (result.total_peak_dynamic_power
+            >= result.total_runtime_dynamic_power * 0.999)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(threads=st.sampled_from([1, 2, 4, 8]))
+def test_more_threads_cost_more(threads):
+    """Thread state (register files, buffers) grows the core."""
+    tech = Technology(node_nm=45, temperature_k=360)
+    base = Core(tech, CoreConfig(hardware_threads=1)).result(2e9)
+    multi = Core(tech, CoreConfig(hardware_threads=threads)).result(2e9)
+    assert multi.total_area >= base.total_area * 0.999
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(temperature=st.sampled_from([320.0, 350.0, 380.0]))
+def test_leakage_monotone_in_temperature(temperature):
+    cold = Core(Technology(node_nm=32, temperature_k=300.0),
+                CoreConfig()).result(2e9)
+    hot = Core(Technology(node_nm=32, temperature_k=temperature),
+               CoreConfig()).result(2e9)
+    assert hot.total_leakage_power > cold.total_leakage_power
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n_cores=st.sampled_from([1, 2, 4, 8]))
+def test_chip_scales_with_core_count(n_cores):
+    """Chips with more cores are strictly bigger and hungrier."""
+    def build(n):
+        return Processor(SystemConfig(
+            name=f"chip{n}", node_nm=32, clock_hz=2e9, n_cores=n,
+            core=CoreConfig(),
+        ))
+
+    one = build(1)
+    many = build(n_cores)
+    assert many.area >= one.area * 0.999
+    assert many.tdp >= one.tdp * 0.999
+    if n_cores > 1:
+        assert many.area > one.area
+        assert many.tdp > one.tdp
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ipc=st.floats(min_value=0.05, max_value=1.0))
+def test_runtime_power_monotone_in_ipc(ipc):
+    """More committed work never reduces runtime dynamic power."""
+    tech = Technology(node_nm=45, temperature_k=360)
+    core = Core(tech, CoreConfig(issue_width=1))
+    low = core.result(2e9, CoreActivity(ipc=ipc * 0.5))
+    high = core.result(2e9, CoreActivity(ipc=ipc))
+    assert (high.total_runtime_dynamic_power
+            >= low.total_runtime_dynamic_power * 0.999)

@@ -1,0 +1,81 @@
+"""Unit + integration tests for the chip-level design-space optimizer."""
+
+import pytest
+
+from repro.config import presets
+from repro.optimizer import (
+    DesignConstraints,
+    DesignObjective,
+    sweep_designs,
+)
+from repro.perf import SPLASH2_PROFILES
+
+
+def candidates():
+    return [
+        presets.manycore_cluster(n_cores=16, cores_per_cluster=size)
+        for size in (1, 2, 4, 8)
+    ]
+
+
+class TestValidationOfInputs:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep_designs([], DesignObjective.TDP)
+
+    def test_runtime_objective_needs_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            sweep_designs(candidates(), DesignObjective.EDP)
+
+    def test_bad_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(max_area_mm2=-10)
+
+
+class TestStaticObjectives:
+    def test_area_objective_orders_by_area(self):
+        ranked = sweep_designs(candidates(), DesignObjective.AREA)
+        areas = [c.area_mm2 for c in ranked]
+        assert areas == sorted(areas)
+
+    def test_tdp_objective_orders_by_tdp(self):
+        ranked = sweep_designs(candidates(), DesignObjective.TDP)
+        tdps = [c.tdp_w for c in ranked]
+        assert tdps == sorted(tdps)
+
+    def test_static_sweep_has_no_runtime_numbers(self):
+        ranked = sweep_designs(candidates(), DesignObjective.TDP)
+        assert all(c.runtime_s is None for c in ranked)
+        assert all(c.edp is None for c in ranked)
+
+
+class TestConstraints:
+    def test_infeasible_sort_last(self):
+        ranked = sweep_designs(
+            candidates(), DesignObjective.TDP,
+            constraints=DesignConstraints(max_area_mm2=1.0),
+        )
+        assert all(not c.feasible for c in ranked)
+
+    def test_loose_constraints_all_feasible(self):
+        ranked = sweep_designs(
+            candidates(), DesignObjective.TDP,
+            constraints=DesignConstraints(max_area_mm2=1e6, max_tdp_w=1e6),
+        )
+        assert all(c.feasible for c in ranked)
+
+
+class TestRuntimeObjectives:
+    def test_edp_sweep_matches_clustering_study(self):
+        workload = SPLASH2_PROFILES["barnes"]
+        ranked = sweep_designs(
+            candidates(), DesignObjective.EDP, workload=workload,
+        )
+        edps = [c.edp for c in ranked]
+        assert edps == sorted(edps)
+        assert all(c.runtime_s is not None for c in ranked)
+
+    def test_objective_value_raises_without_workload(self):
+        ranked = sweep_designs(candidates(), DesignObjective.TDP)
+        with pytest.raises(ValueError):
+            ranked[0].objective_value(DesignObjective.EDP)

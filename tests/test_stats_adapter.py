@@ -1,0 +1,104 @@
+"""Unit tests for the gem5-style stats adapter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats_adapter import (
+    core_activity_from_stats,
+    system_activity_from_stats,
+)
+
+GOOD = {
+    "sim_cycles": 1_000_000.0,
+    "committed_insts": 800_000.0,
+    "num_load_insts": 200_000.0,
+    "num_store_insts": 80_000.0,
+    "num_branches": 120_000.0,
+    "num_fp_insts": 40_000.0,
+    "num_mult_insts": 10_000.0,
+    "icache_accesses": 900_000.0,
+    "icache_misses": 9_000.0,
+    "dcache_accesses": 280_000.0,
+    "dcache_misses": 14_000.0,
+    "fetched_insts": 1_000_000.0,
+    "l2_accesses": 23_000.0,
+    "l2_misses": 6_000.0,
+    "l2_writebacks": 5_000.0,
+    "noc_flits": 50_000.0,
+    "mem_reads": 5_000.0,
+    "mem_writes": 2_000.0,
+}
+
+
+class TestCoreAdapter:
+    def test_basic_conversion(self):
+        activity = core_activity_from_stats(GOOD)
+        assert activity.ipc == pytest.approx(0.8)
+        assert activity.load_fraction == pytest.approx(0.25)
+        assert activity.dcache_miss_rate == pytest.approx(0.05)
+        assert activity.speculation_overhead == pytest.approx(0.25)
+
+    def test_missing_required_counter(self):
+        with pytest.raises(KeyError, match="sim_cycles"):
+            core_activity_from_stats({"committed_insts": 100})
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            core_activity_from_stats(
+                {"sim_cycles": 0, "committed_insts": 100})
+
+    def test_negative_counter_rejected(self):
+        bad = dict(GOOD, num_load_insts=-1.0)
+        with pytest.raises(ValueError):
+            core_activity_from_stats(bad)
+
+    def test_missing_optional_counters_default_to_zero(self):
+        activity = core_activity_from_stats(
+            {"sim_cycles": 100.0, "committed_insts": 50.0})
+        assert activity.load_fraction == 0.0
+        assert activity.icache_miss_rate == 0.0
+
+    def test_ratios_clamped(self):
+        weird = dict(GOOD, dcache_misses=1e9)  # more misses than accesses
+        activity = core_activity_from_stats(weird)
+        assert activity.dcache_miss_rate == 1.0
+
+    @given(st.floats(min_value=1.0, max_value=1e9),
+           st.floats(min_value=0.0, max_value=1e9))
+    def test_never_crashes_on_physical_counts(self, cycles, insts):
+        activity = core_activity_from_stats(
+            {"sim_cycles": cycles, "committed_insts": insts})
+        assert activity.ipc >= 0.0
+
+
+class TestSystemAdapter:
+    def test_full_bundle(self):
+        bundle = system_activity_from_stats(
+            GOOD, n_l2_instances=2, n_routers=4)
+        assert bundle.l2 is not None
+        assert bundle.l2.accesses_per_cycle == pytest.approx(
+            23_000 / 1e6 / 2)
+        assert bundle.l2.miss_rate == pytest.approx(6 / 23, rel=1e-3)
+        assert bundle.noc.flits_per_cycle_per_router == pytest.approx(
+            50_000 / 1e6 / 4)
+        assert bundle.memory_controller.reads_per_cycle == pytest.approx(
+            0.005)
+
+    def test_no_l2_counters_means_no_l2_activity(self):
+        stats = {k: v for k, v in GOOD.items()
+                 if not k.startswith("l2_")}
+        bundle = system_activity_from_stats(stats)
+        assert bundle.l2 is None
+
+    def test_bad_instance_counts_rejected(self):
+        with pytest.raises(ValueError):
+            system_activity_from_stats(GOOD, n_l2_instances=0)
+
+    def test_drives_power_model_end_to_end(self):
+        from repro.chip import Processor
+        from repro.config import presets
+
+        chip = Processor(presets.niagara1())
+        bundle = system_activity_from_stats(GOOD)
+        power = chip.report(bundle).total_runtime_power
+        assert 0 < power < chip.tdp

@@ -1,0 +1,80 @@
+"""Coverage for unit helpers and small utility paths."""
+
+import pytest
+
+from repro import units
+
+
+class TestUnits:
+    def test_temperature_conversions_inverse(self):
+        assert units.celsius_to_kelvin(
+            units.kelvin_to_celsius(360.0)) == pytest.approx(360.0)
+
+    def test_room_temperature(self):
+        assert units.celsius_to_kelvin(26.85) == pytest.approx(300.0)
+
+    def test_data_sizes(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+    def test_si_prefixes_consistent(self):
+        assert units.NM * 1000 == pytest.approx(units.UM)
+        assert units.UM * 1000 == pytest.approx(units.MM)
+        assert units.PS * 1000 == pytest.approx(units.NS)
+        assert units.FF * 1000 == pytest.approx(units.PF)
+        assert units.FJ * 1000 == pytest.approx(units.PJ)
+
+    def test_area_units(self):
+        assert units.MM2 == pytest.approx((units.MM) ** 2)
+        assert units.UM2 == pytest.approx((units.UM) ** 2)
+
+
+class TestLoaderErrors:
+    def test_malformed_core_raises(self):
+        from repro.config.loader import system_config_from_dict
+
+        with pytest.raises((KeyError, TypeError)):
+            system_config_from_dict({"name": "x", "node_nm": 65})
+
+    def test_unknown_device_type_raises(self):
+        from repro.config.loader import (
+            system_config_from_dict,
+            system_config_to_dict,
+        )
+        from repro.config import presets
+
+        data = system_config_to_dict(presets.niagara1())
+        data["device_type"] = "quantum"
+        with pytest.raises(ValueError):
+            system_config_from_dict(data)
+
+    def test_schema_validators_run_on_load(self):
+        from repro.config.loader import (
+            system_config_from_dict,
+            system_config_to_dict,
+        )
+        from repro.config import presets
+
+        data = system_config_to_dict(presets.niagara1())
+        data["n_cores"] = 0
+        with pytest.raises(ValueError, match="n_cores"):
+            system_config_from_dict(data)
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_experiments_exports_resolve(self):
+        import repro.experiments as experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name

@@ -1,0 +1,92 @@
+"""Unit tests for the memory controller and clock network."""
+
+import pytest
+
+from repro.activity import MemoryControllerActivity
+from repro.clocking import ClockNetwork
+from repro.config.schema import MemoryControllerConfig
+from repro.mc import MemoryController
+from repro.tech import Technology
+
+TECH = Technology(node_nm=65, temperature_k=360)
+CLOCK = 2e9
+
+
+class TestMemoryController:
+    def test_zero_channels_is_empty(self):
+        mc = MemoryController(TECH, MemoryControllerConfig(channels=0))
+        result = mc.result(CLOCK, MemoryControllerActivity())
+        assert result.total_area == 0.0
+        assert result.total_peak_dynamic_power == 0.0
+
+    def test_tree_structure(self):
+        mc = MemoryController(TECH, MemoryControllerConfig(channels=2))
+        names = {c.name for c in mc.result(CLOCK).children}
+        assert {"mc_frontend", "mc_transaction_engine", "mc_phy"} <= names
+
+    def test_no_phy_when_disabled(self):
+        mc = MemoryController(TECH, MemoryControllerConfig(
+            channels=2, has_phy=False))
+        names = {c.name for c in mc.result(CLOCK).children}
+        assert "mc_phy" not in names
+
+    def test_peak_power_tracks_bandwidth_not_clock(self):
+        """Doubling the core clock must not double MC peak power."""
+        mc = MemoryController(TECH, MemoryControllerConfig(channels=2))
+        slow = mc.result(1e9).total_peak_dynamic_power
+        fast = mc.result(4e9).total_peak_dynamic_power
+        assert fast < slow * 1.5
+
+    def test_peak_power_scales_with_channels(self):
+        one = MemoryController(TECH, MemoryControllerConfig(channels=1))
+        four = MemoryController(TECH, MemoryControllerConfig(channels=4))
+        assert (four.result(CLOCK).total_peak_dynamic_power
+                > 2 * one.result(CLOCK).total_peak_dynamic_power)
+
+    def test_runtime_capped_at_bus_bandwidth(self):
+        mc = MemoryController(TECH, MemoryControllerConfig(channels=1))
+        saturated = mc.result(CLOCK, MemoryControllerActivity(
+            reads_per_cycle=10.0, writes_per_cycle=10.0))
+        assert (saturated.total_runtime_dynamic_power
+                <= saturated.total_peak_dynamic_power * 1.001)
+
+    def test_phy_energy_magnitude(self):
+        """DDR-class PHY: ~10-25 pJ/bit."""
+        mc = MemoryController(TECH, MemoryControllerConfig(channels=1))
+        assert 5e-12 < mc.phy_energy_per_bit < 40e-12
+
+    def test_bandwidth_math(self):
+        mc = MemoryController(TECH, MemoryControllerConfig(
+            channels=2, data_bus_bits=64, peak_transfer_rate_mts=1600))
+        assert mc.peak_bandwidth_bits_per_second == pytest.approx(
+            2 * 64 * 1600e6)
+
+
+class TestClockNetwork:
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ClockNetwork(TECH, chip_width=0, chip_height=1e-3)
+
+    def test_power_scales_with_chip_area(self):
+        small = ClockNetwork(TECH, 5e-3, 5e-3)
+        big = ClockNetwork(TECH, 20e-3, 20e-3)
+        assert big.energy_per_cycle > big.energy_per_cycle * 0  # sanity
+        assert big.energy_per_cycle > 4 * small.energy_per_cycle
+
+    def test_duty_cycle_gates_runtime_only(self):
+        clock = ClockNetwork(TECH, 10e-3, 10e-3)
+        gated = clock.result(CLOCK, duty_cycle=0.5)
+        free = clock.result(CLOCK, duty_cycle=1.0)
+        assert gated.runtime_dynamic_power == pytest.approx(
+            0.5 * free.runtime_dynamic_power)
+        assert gated.peak_dynamic_power == free.peak_dynamic_power
+
+    def test_bad_duty_rejected(self):
+        with pytest.raises(ValueError):
+            ClockNetwork(TECH, 1e-2, 1e-2).result(CLOCK, duty_cycle=1.5)
+
+    def test_chip_class_magnitude(self):
+        """A ~200 mm^2 chip at 2 GHz burns watts in clock distribution."""
+        clock = ClockNetwork(TECH, 14e-3, 14e-3)
+        power = clock.energy_per_cycle * CLOCK
+        assert 0.3 < power < 30.0

@@ -1,0 +1,114 @@
+"""Unit tests for routers, links, and network assembly."""
+
+import pytest
+
+from repro.activity import NocActivity
+from repro.config.schema import NocConfig, NocTopology
+from repro.noc import Link, NetworkOnChip, Router
+from repro.tech import Technology
+
+TECH = Technology(node_nm=32, temperature_k=360)
+CLOCK = 2e9
+PITCH = 2e-3  # 2 mm tiles
+
+
+class TestRouter:
+    def test_needs_two_ports(self):
+        with pytest.raises(ValueError):
+            Router(TECH, NocConfig(), n_ports=1)
+
+    def test_energy_per_flit_magnitude(self):
+        """A 128-bit 5-port router moves a flit for O(1-100 pJ)."""
+        router = Router(TECH, NocConfig(flit_bits=128), n_ports=5)
+        assert 0.5e-12 < router.energy_per_flit < 200e-12
+
+    def test_wider_flits_cost_more(self):
+        narrow = Router(TECH, NocConfig(flit_bits=64), n_ports=5)
+        wide = Router(TECH, NocConfig(flit_bits=256), n_ports=5)
+        assert wide.energy_per_flit > narrow.energy_per_flit
+        assert wide.area > narrow.area
+
+    def test_more_vcs_more_buffers(self):
+        few = Router(TECH, NocConfig(virtual_channels=1), n_ports=5)
+        many = Router(TECH, NocConfig(virtual_channels=8), n_ports=5)
+        assert many.leakage_power > few.leakage_power
+
+    def test_single_vc_has_no_vc_arbiter(self):
+        router = Router(TECH, NocConfig(virtual_channels=1), n_ports=5)
+        assert router.vc_arbiter is None
+
+
+class TestLink:
+    def test_costs_linear_in_length(self):
+        short = Link(TECH, flit_bits=128, length=1e-3)
+        long = Link(TECH, flit_bits=128, length=2e-3)
+        assert long.energy_per_flit == pytest.approx(
+            2 * short.energy_per_flit)
+        assert long.delay == pytest.approx(2 * short.delay)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Link(TECH, flit_bits=128, length=-1)
+
+
+class TestNetworkAssembly:
+    def make(self, topology, n=16, external_ports=0):
+        return NetworkOnChip(
+            tech=TECH,
+            config=NocConfig(topology=topology,
+                             external_ports=external_ports),
+            n_endpoints=n,
+            endpoint_pitch=PITCH,
+        )
+
+    def test_single_endpoint_no_network(self):
+        noc = self.make(NocTopology.MESH_2D, n=1)
+        assert noc.topology is NocTopology.NONE
+        result = noc.result(CLOCK, NocActivity())
+        assert result.total_area == 0.0
+
+    def test_single_endpoint_with_external_ports_has_router(self):
+        noc = self.make(NocTopology.RING, n=1, external_ports=4)
+        assert noc.router is not None
+        assert noc.router.n_ports == 7
+
+    def test_mesh_routers_one_per_endpoint(self):
+        noc = self.make(NocTopology.MESH_2D)
+        assert noc.n_routers == 16
+        assert noc.router.n_ports == 5
+
+    def test_ring_uses_three_port_routers(self):
+        noc = self.make(NocTopology.RING)
+        assert noc.router.n_ports == 3
+
+    def test_crossbar_has_no_routers(self):
+        noc = self.make(NocTopology.CROSSBAR)
+        assert noc.router is None
+        assert noc.crossbar is not None
+
+    def test_bus_assembles(self):
+        noc = self.make(NocTopology.BUS)
+        assert noc.bus_wire is not None
+        assert noc.bus_arbiter is not None
+        assert noc.energy_per_flit_hop > 0
+
+    def test_mesh_hops_grow_with_size(self):
+        small = self.make(NocTopology.MESH_2D, n=16)
+        big = self.make(NocTopology.MESH_2D, n=64)
+        assert big.average_hops > small.average_hops
+
+    def test_mesh_power_scales_with_endpoints(self):
+        small = self.make(NocTopology.MESH_2D, n=16)
+        big = self.make(NocTopology.MESH_2D, n=64)
+        act = NocActivity(flits_per_cycle_per_router=0.3)
+        assert (big.result(CLOCK, act).total_runtime_dynamic_power
+                > small.result(CLOCK, act).total_runtime_dynamic_power)
+        assert (big.result(CLOCK).total_leakage_power
+                > small.result(CLOCK).total_leakage_power)
+
+    def test_peak_exceeds_runtime(self):
+        noc = self.make(NocTopology.MESH_2D)
+        result = noc.result(CLOCK, NocActivity(
+            flits_per_cycle_per_router=0.1))
+        assert (result.total_peak_dynamic_power
+                > result.total_runtime_dynamic_power)

@@ -1,0 +1,78 @@
+"""Unit tests for the shared-cache model."""
+
+import pytest
+
+from repro.activity import CacheActivity
+from repro.config.schema import SharedCacheConfig
+from repro.memsys import SharedCache
+from repro.tech import Technology
+from repro.units import MB
+
+TECH = Technology(node_nm=65, temperature_k=360)
+CLOCK = 2e9
+
+
+def build(capacity=2 * MB, banks=4, **kwargs):
+    return SharedCache(TECH, SharedCacheConfig(
+        capacity_bytes=capacity, banks=banks, **kwargs))
+
+
+class TestStructure:
+    def test_tree_structure(self):
+        result = build().result(CLOCK, CacheActivity(accesses_per_cycle=0.5))
+        names = {c.name for c in result.children}
+        assert {"L2_arrays", "L2_mshrs", "L2_controller"} <= names
+
+    def test_no_mshrs_when_disabled(self):
+        cache = build(mshr_entries=0)
+        names = {c.name for c in cache.result(CLOCK).children}
+        assert "L2_mshrs" not in names
+
+    def test_directory_bits_grow_tags(self):
+        plain = build()
+        directory = build(directory_sharers=64)
+        assert (directory.cache.tag_array.area > plain.cache.tag_array.area)
+
+
+class TestThroughputCeiling:
+    def test_ceiling_positive_and_bank_scaled(self):
+        few = build(banks=2)
+        many = build(banks=8)
+        assert (many.max_accesses_per_cycle(CLOCK)
+                > few.max_accesses_per_cycle(CLOCK))
+
+    def test_runtime_traffic_capped_at_ceiling(self):
+        cache = build()
+        ceiling = cache.max_accesses_per_cycle(CLOCK)
+        at_cap = cache.result(CLOCK, CacheActivity(
+            accesses_per_cycle=ceiling))
+        over_cap = cache.result(CLOCK, CacheActivity(
+            accesses_per_cycle=10 * ceiling))
+        assert (over_cap.total_runtime_dynamic_power
+                == pytest.approx(at_cap.total_runtime_dynamic_power))
+
+    def test_big_slow_cache_has_lower_ceiling(self):
+        small = build(capacity=1 * MB)
+        big = build(capacity=16 * MB, name="L3", associativity=16)
+        assert (big.max_accesses_per_cycle(CLOCK)
+                <= small.max_accesses_per_cycle(CLOCK) * 1.5)
+
+
+class TestPower:
+    def test_peak_exceeds_light_runtime(self):
+        cache = build()
+        light = cache.result(CLOCK, CacheActivity(accesses_per_cycle=0.01))
+        assert (light.total_peak_dynamic_power
+                > light.total_runtime_dynamic_power)
+
+    def test_capacity_drives_leakage(self):
+        small = build(capacity=1 * MB)
+        big = build(capacity=8 * MB)
+        assert (big.result(CLOCK).total_leakage_power
+                > 4 * small.result(CLOCK).total_leakage_power)
+
+    def test_ecc_overhead_present(self):
+        """Shared caches store ECC: data array wider than raw capacity."""
+        cache = build()
+        raw_bits = 8 * cache.config.block_bytes
+        assert cache.cache.data_array.spec.routed_bits > raw_bits
