@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test verify bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+verify: test
+	$(PYTHON) benchmarks/bench_engine.py --smoke
+
+bench:
+	$(PYTHON) benchmarks/bench_engine.py

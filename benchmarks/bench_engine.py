@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Benchmark the batch evaluation engine: serial vs parallel vs cached.
+
+Builds a parameter grid of small chips with
+:class:`repro.engine.SweepSpec`, then times three evaluations of the
+same grid:
+
+1. cold serial (``jobs=1``, no cache),
+2. cold parallel (``--jobs N``, no cache),
+3. warm cache (every point already in an :class:`EvalCache`).
+
+Parallel results are asserted bitwise-equal to serial, and the warm run
+is asserted to be far below the cold serial time. On a multi-core
+machine the parallel leg shows the fan-out speedup; on a single core it
+degrades to roughly serial cost (the engine never slows down more than
+the fork overhead).
+
+Run::
+
+    python benchmarks/bench_engine.py             # 64-point grid, 4 jobs
+    python benchmarks/bench_engine.py --smoke     # quick CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.config.schema import (
+    CacheGeometry,
+    CoreConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    NocTopology,
+    SystemConfig,
+)
+from repro.engine import (
+    EvalCache,
+    SweepSpec,
+    config_key,
+    evaluate_many,
+)
+
+
+def _base_config() -> SystemConfig:
+    """A deliberately small chip so each grid point evaluates quickly."""
+    return SystemConfig(
+        name="bench-tile",
+        node_nm=45,
+        clock_hz=1.0e9,
+        n_cores=1,
+        core=CoreConfig(
+            name="bench-core",
+            icache=CacheGeometry(capacity_bytes=8 * 1024),
+            dcache=CacheGeometry(capacity_bytes=8 * 1024),
+            branch_predictor=None,
+        ),
+        l2=None,
+        noc=NocConfig(topology=NocTopology.NONE),
+        memory_controller=MemoryControllerConfig(channels=1),
+    )
+
+
+def _grid(n_points: int) -> list[SystemConfig]:
+    """A sweep grid of at least ``n_points`` distinct configurations."""
+    axes = {
+        "cores": (1, 2, 3, 4),
+        "tech_nm": (90, 65, 45, 32),
+        "clock_hz": (1.0e9, 1.5e9, 2.0e9, 2.5e9),
+    }
+    spec = SweepSpec.from_axes(_base_config(), axes)
+    configs = [point.config for point in spec.points()]
+    if len(configs) < n_points:
+        raise SystemExit(
+            f"grid tops out at {len(configs)} points, asked for {n_points}"
+        )
+    return configs[:n_points]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial vs parallel vs cached engine benchmark",
+    )
+    parser.add_argument("--points", type=int, default=64,
+                        help="grid points to evaluate (default 64)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the parallel leg (default 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: 6 points, 2 jobs")
+    args = parser.parse_args(argv)
+
+    n_points = 6 if args.smoke else args.points
+    jobs = 2 if args.smoke else args.jobs
+    configs = _grid(n_points)
+    cpus = os.cpu_count() or 1
+    print(f"{len(configs)}-point grid, parallel leg jobs={jobs} "
+          f"(machine has {cpus} cpu{'s' if cpus != 1 else ''})")
+
+    start = time.perf_counter()
+    serial = evaluate_many(configs, jobs=1, cache=None)
+    t_serial = time.perf_counter() - start
+    print(f"cold serial    : {t_serial:8.2f} s "
+          f"({t_serial / len(configs) * 1e3:6.0f} ms/point)")
+
+    start = time.perf_counter()
+    parallel = evaluate_many(configs, jobs=jobs, cache=None)
+    t_parallel = time.perf_counter() - start
+    print(f"cold parallel  : {t_parallel:8.2f} s "
+          f"(speedup {t_serial / t_parallel:4.2f}x)")
+
+    if parallel != serial:
+        print("FAIL: parallel results differ from serial", file=sys.stderr)
+        return 1
+
+    cache = EvalCache()
+    for config, record in zip(configs, serial):
+        cache.put(config_key(config), record)
+    start = time.perf_counter()
+    warm = evaluate_many(configs, jobs=1, cache=cache)
+    t_warm = time.perf_counter() - start
+    print(f"warm cache     : {t_warm:8.2f} s "
+          f"(speedup {t_serial / t_warm:4.0f}x, "
+          f"{t_warm / t_serial:6.2%} of cold serial)")
+
+    if [r.tdp_w for r in warm] != [r.tdp_w for r in serial]:
+        print("FAIL: cached results differ from serial", file=sys.stderr)
+        return 1
+    if t_warm > 0.5 * t_serial:
+        print("FAIL: warm cache gave no meaningful speedup",
+              file=sys.stderr)
+        return 1
+    if cpus >= 2 * jobs and t_parallel > 0.75 * t_serial:
+        # Only meaningful on machines with real parallelism headroom.
+        print("FAIL: parallel run gave no speedup despite free cores",
+              file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,14 @@ Subcommands mirror how the original tool is used:
 * ``validate`` — run the published-vs-modeled validation tables.
 * ``scaling`` — the technology-scaling sweep.
 * ``clustering`` — the 22 nm manycore clustering case study.
+* ``sweep`` — batch-evaluate a parameter grid over a base config on the
+  parallel, cached evaluation engine.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -24,7 +27,16 @@ def _resolve_config(source: str):
         return presets.VALIDATION_PRESETS[source]()
     path = Path(source)
     if path.exists():
-        return load_system_config(path)
+        try:
+            return load_system_config(path)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"config file {path} is not valid JSON: {exc}"
+            ) from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"config file {path} is malformed: {exc!r}"
+            ) from exc
     known = ", ".join(presets.VALIDATION_PRESETS)
     raise SystemExit(
         f"unknown config {source!r}: not a preset ({known}) nor a file"
@@ -52,13 +64,13 @@ def _cmd_validate(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scaling(_: argparse.Namespace) -> int:
+def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.experiments.tech_scaling import (
         format_scaling_table,
         run_tech_scaling,
     )
 
-    print(format_scaling_table(run_tech_scaling()))
+    print(format_scaling_table(run_tech_scaling(jobs=args.jobs)))
     return 0
 
 
@@ -91,13 +103,71 @@ def _cmd_pipeline(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_manycore(_: argparse.Namespace) -> int:
+def _cmd_manycore(args: argparse.Namespace) -> int:
     from repro.experiments.manycore_scaling import (
         format_scaling_points,
         run_manycore_scaling,
     )
 
-    print(format_scaling_points(run_manycore_scaling()))
+    print(format_scaling_points(run_manycore_scaling(jobs=args.jobs)))
+    return 0
+
+
+def _parse_axis(spec: str) -> tuple[str, list]:
+    """Parse ``name=v1,v2,...`` into an axis; values are JSON-typed."""
+    name, sep, raw = spec.partition("=")
+    if not sep or not name or not raw:
+        raise SystemExit(
+            f"bad --axis {spec!r}: expected name=value1,value2,..."
+        )
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            values.append(json.loads(token))
+        except json.JSONDecodeError:
+            values.append(token)
+    return name, values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        EvalCache,
+        SweepSpec,
+        format_sweep_table,
+        run_sweep,
+    )
+    from repro.perf import SPLASH2_PROFILES
+
+    base = _resolve_config(args.base)
+    axes = dict(_parse_axis(spec) for spec in args.axis)
+    try:
+        spec = SweepSpec.from_axes(base, axes)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    workload = None
+    if args.workload is not None:
+        if args.workload not in SPLASH2_PROFILES:
+            known = ", ".join(SPLASH2_PROFILES)
+            raise SystemExit(
+                f"unknown workload {args.workload!r} (known: {known})"
+            )
+        workload = SPLASH2_PROFILES[args.workload]
+
+    cache = EvalCache(path=args.cache) if args.cache else None
+    results = run_sweep(
+        spec,
+        workload=workload,
+        jobs=args.jobs,
+        **({"cache": cache} if cache is not None else {}),
+        checkpoint_path=args.checkpoint,
+    )
+    print(f"{spec.n_points}-point sweep of {base.name}")
+    print(format_sweep_table(results))
+    if cache is not None:
+        print(f"\ncache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.path})")
     return 0
 
 
@@ -118,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
     validate.set_defaults(func=_cmd_validate)
 
     scaling = sub.add_parser("scaling", help="technology scaling sweep")
+    scaling.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default 1)")
     scaling.set_defaults(func=_cmd_scaling)
 
     clustering = sub.add_parser("clustering", help="clustering case study")
@@ -134,7 +206,30 @@ def main(argv: list[str] | None = None) -> int:
 
     manycore = sub.add_parser("manycore",
                               help="max cores per node under budgets")
+    manycore.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (default 1)")
     manycore.set_defaults(func=_cmd_manycore)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="batch-evaluate a parameter grid over a base config",
+    )
+    sweep.add_argument("base", help="preset name or config JSON path")
+    sweep.add_argument(
+        "--axis", action="append", required=True, metavar="NAME=V1,V2,...",
+        help="parameter axis, e.g. cores=2,4,8 or tech_nm=45,32,22; "
+             "dotted paths like core.issue_width=1,2 reach nested fields "
+             "(repeatable; the grid is the cross product)",
+    )
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1)")
+    sweep.add_argument("--workload", default=None,
+                       help="SPLASH-2 profile for runtime metrics")
+    sweep.add_argument("--cache", default=None, metavar="PATH",
+                       help="persistent JSONL result cache")
+    sweep.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="JSONL checkpoint for resume-after-interrupt")
+    sweep.set_defaults(func=_cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,148 @@
+"""Batch evaluation engine: parallel, content-hash-cached chip modeling.
+
+McPAT's headline use case is sweeping hundreds-to-thousands of candidate
+architectures through the integrated power/area/timing model. This
+package is the single entry point for evaluating *many* configurations:
+
+* :func:`evaluate_many` — evaluate a batch of
+  :class:`~repro.config.schema.SystemConfig` candidates, fanned out over
+  worker processes and deduplicated through a content-hash cache.
+* :class:`~repro.engine.cache.EvalCache` — in-memory LRU with an
+  optional on-disk JSONL store, keyed by
+  :func:`~repro.engine.cache.config_key`.
+* :class:`~repro.engine.sweep.SweepSpec` / :func:`~repro.engine.sweep.run_sweep`
+  — declarative parameter grids with checkpoint/resume.
+
+Example::
+
+    from repro import presets
+    from repro.engine import evaluate_many
+
+    configs = [presets.manycore_cluster(n_cores=n) for n in (16, 32, 64)]
+    records = evaluate_many(configs, jobs=4)
+    for record in records:
+        print(record.name, record.tdp_w, record.area_mm2)
+
+Results are bitwise-identical to a serial loop regardless of ``jobs``,
+and repeated or overlapping batches are served from the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.config.schema import SystemConfig
+from repro.engine.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE,
+    EvalCache,
+    config_key,
+)
+from repro.engine.pool import (
+    default_jobs,
+    evaluate_payloads,
+    fork_available,
+)
+from repro.engine.record import EvalRecord, evaluate_config
+from repro.engine.sweep import (
+    SweepAxis,
+    SweepPoint,
+    SweepPointResult,
+    SweepSpec,
+    format_sweep_table,
+    run_sweep,
+)
+from repro.perf.workload import Workload
+
+#: Objective names that require a workload simulation (mirrors
+#: :class:`repro.optimizer.search.DesignObjective`, which is accepted
+#: here duck-typed to keep the dependency one-way).
+_RUNTIME_OBJECTIVES = frozenset({"runtime", "energy", "edp", "ed2p"})
+
+
+def evaluate_many(
+    configs: Sequence[SystemConfig] | Iterable[SystemConfig],
+    objective: "object | None" = None,
+    workload: Workload | None = None,
+    jobs: int = 1,
+    cache: EvalCache | None = DEFAULT_CACHE,
+) -> list[EvalRecord]:
+    """Evaluate many configurations through the cache and worker pool.
+
+    Args:
+        configs: Candidate configurations.
+        objective: Optional objective (a
+            :class:`~repro.optimizer.search.DesignObjective` or its
+            string value) used to validate that runtime objectives come
+            with a workload; ranking itself is the optimizer's job.
+        workload: Optional workload for runtime metrics.
+        jobs: Worker processes (``1`` = serial, in-process).
+        cache: Result cache. Defaults to the process-wide shared cache;
+            pass ``None`` to force fresh evaluation.
+
+    Returns:
+        One :class:`EvalRecord` per config, in input order. Records for
+        configs already cached (or repeated within the batch) are
+        computed once; ``record.from_cache`` tells which.
+
+    Raises:
+        ValueError: If ``configs`` is empty, or a runtime objective is
+            requested without a workload.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("need at least one configuration to evaluate")
+    if objective is not None:
+        name = str(getattr(objective, "value", objective))
+        if name in _RUNTIME_OBJECTIVES and workload is None:
+            raise ValueError(
+                f"objective {name!r} requires a workload"
+            )
+
+    keys = [config_key(config, workload) for config in configs]
+    records: dict[str, EvalRecord] = {}
+
+    # Serve cache hits, and deduplicate repeats within the batch.
+    to_compute: list[tuple[str, SystemConfig]] = []
+    seen: set[str] = set()
+    for key, config in zip(keys, configs):
+        if key in seen:
+            continue
+        seen.add(key)
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            records[key] = hit
+        else:
+            to_compute.append((key, config))
+
+    if to_compute:
+        fresh = evaluate_payloads(
+            [(key, config, workload) for key, config in to_compute],
+            jobs=jobs,
+        )
+        for (key, _), record in zip(to_compute, fresh):
+            records[key] = record
+            if cache is not None:
+                cache.put(key, record)
+
+    return [records[key] for key in keys]
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE",
+    "EvalCache",
+    "EvalRecord",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepSpec",
+    "config_key",
+    "default_jobs",
+    "evaluate_config",
+    "evaluate_many",
+    "evaluate_payloads",
+    "fork_available",
+    "format_sweep_table",
+    "run_sweep",
+]

@@ -1,0 +1,144 @@
+"""Content-hash result cache: in-memory LRU plus optional JSONL store.
+
+The key is a deterministic hash over the *content* of a
+:class:`~repro.config.schema.SystemConfig` and the workload, so two
+structurally identical configs share a key no matter how they were built
+(preset, JSON file, or ``dataclasses.replace`` chain). Overlapping grid
+sweeps and repeated studies therefore reuse every point they have in
+common.
+
+The optional on-disk store is an append-only JSONL log: loading replays
+the log (last write wins), and every new record is appended as it is
+computed, which doubles as crash durability for long sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.config.loader import system_config_to_dict
+from repro.config.schema import SystemConfig
+from repro.engine.record import EvalRecord
+from repro.perf.workload import Workload
+
+#: Bump when the model or record layout changes meaningfully, so stale
+#: on-disk caches from older code are never served.
+CACHE_SCHEMA_VERSION = 1
+
+
+def config_key(config: SystemConfig, workload: Workload | None = None) -> str:
+    """Deterministic content-hash key for one (config, workload) pair.
+
+    The same configuration always maps to the same key; changing any
+    field — however deeply nested — produces a different key.
+    """
+    payload = {
+        "v": CACHE_SCHEMA_VERSION,
+        "config": system_config_to_dict(config),
+        "workload": (
+            dataclasses.asdict(workload) if workload is not None else None
+        ),
+    }
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class EvalCache:
+    """LRU cache of :class:`EvalRecord` with an optional JSONL backing file.
+
+    Args:
+        max_entries: In-memory capacity; least-recently-used entries are
+            evicted (they remain in the on-disk log if one is configured).
+        path: Optional JSONL file. Existing entries are loaded eagerly;
+            new entries are appended as they are stored.
+
+    Attributes:
+        hits: Number of successful lookups.
+        misses: Number of failed lookups.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        path: str | Path | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._records: OrderedDict[str, EvalRecord] = OrderedDict()
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        """Replay the JSONL log, skipping unreadable lines."""
+        assert self.path is not None
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                record = EvalRecord.from_dict(entry["record"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+            self._records[key] = record
+            self._records.move_to_end(key)
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._records) > self.max_entries:
+            self._records.popitem(last=False)
+
+    def get(self, key: str) -> EvalRecord | None:
+        """Look up a record; cached results come back ``from_cache=True``."""
+        record = self._records.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self._records.move_to_end(key)
+        self.hits += 1
+        return dataclasses.replace(record, from_cache=True)
+
+    def put(self, key: str, record: EvalRecord) -> None:
+        """Store a record, appending to the JSONL log for new keys."""
+        is_new = key not in self._records
+        self._records[key] = dataclasses.replace(record, from_cache=False)
+        self._records.move_to_end(key)
+        self._evict()
+        if is_new and self.path is not None:
+            line = json.dumps(
+                {"key": key, "record": record.to_dict()}, sort_keys=True,
+            )
+            with self.path.open("a") as handle:
+                handle.write(line + "\n")
+
+    def clear(self) -> None:
+        """Drop the in-memory entries and reset the hit/miss counters.
+
+        The on-disk log, if any, is left untouched.
+        """
+        self._records.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+
+#: Process-wide shared cache used when callers don't supply their own, so
+#: independent studies in one process (CLI, tests, notebooks) reuse every
+#: evaluation they have in common. Pass ``cache=None`` to bypass it.
+DEFAULT_CACHE = EvalCache(max_entries=4096)

@@ -1,0 +1,95 @@
+"""Worker-pool fan-out for batch evaluation.
+
+Evaluations are pure CPU-bound functions of their config, so they
+parallelize trivially across processes. Payloads are split into
+contiguous chunks (several per worker, to balance uneven evaluation
+costs) and submitted to a fork-context process pool. Any chunk whose
+worker fails — including a hard crash that breaks the pool — is re-run
+serially in the parent, so a flaky worker degrades throughput instead of
+losing results. Platforms without ``fork`` (and ``jobs=1``) fall back to
+a plain serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.config.schema import SystemConfig
+from repro.engine.record import EvalRecord, evaluate_config
+from repro.perf.workload import Workload
+
+#: One payload: (cache key, config, workload-or-None).
+Payload = tuple[str, SystemConfig, "Workload | None"]
+
+#: Chunks submitted per worker; >1 balances uneven evaluation costs.
+_CHUNKS_PER_WORKER = 4
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine."""
+    return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """Whether the platform supports fork-based worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _evaluate_chunk(chunk: list[Payload]) -> list[EvalRecord]:
+    """Evaluate one contiguous chunk of payloads (runs in a worker)."""
+    return [
+        evaluate_config(config, workload, key=key)
+        for key, config, workload in chunk
+    ]
+
+
+def split_chunks(payloads: list[Payload], jobs: int) -> list[list[Payload]]:
+    """Split payloads into contiguous, near-equal chunks."""
+    n_chunks = min(len(payloads), max(1, jobs) * _CHUNKS_PER_WORKER)
+    base, extra = divmod(len(payloads), n_chunks)
+    chunks: list[list[Payload]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(payloads[start:start + size])
+        start += size
+    return chunks
+
+
+def evaluate_payloads(
+    payloads: list[Payload],
+    jobs: int = 1,
+) -> list[EvalRecord]:
+    """Evaluate payloads, fanned out over ``jobs`` processes.
+
+    Results come back in payload order regardless of which worker
+    computed them, and are bitwise-identical to a serial run (each
+    evaluation is a pure function). With ``jobs <= 1``, a single payload,
+    or no ``fork`` support, the loop runs serially in-process.
+    """
+    if jobs <= 1 or len(payloads) <= 1 or not fork_available():
+        return _evaluate_chunk(payloads)
+
+    jobs = min(jobs, len(payloads))
+    chunks = split_chunks(payloads, jobs)
+    context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context,
+        ) as pool:
+            futures = [pool.submit(_evaluate_chunk, c) for c in chunks]
+            records: list[EvalRecord] = []
+            for chunk, future in zip(chunks, futures):
+                try:
+                    records.extend(future.result())
+                except Exception:
+                    # Worker died or errored: recover this chunk serially.
+                    # Deterministic evaluation errors re-raise here with a
+                    # clean parent-process traceback.
+                    records.extend(_evaluate_chunk(chunk))
+            return records
+    except OSError:
+        # Pool creation itself failed (sandbox, fd limits, ...).
+        return _evaluate_chunk(payloads)

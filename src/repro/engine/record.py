@@ -1,0 +1,135 @@
+"""The unit of work the batch engine computes: one config's metrics.
+
+An :class:`EvalRecord` is the flattened, serializable summary of one
+:class:`~repro.chip.processor.Processor` evaluation — chip-level area and
+power, the per-core breakdown the scaling studies plot, and (when a
+workload is supplied) the runtime metrics from the analytical performance
+substrate. Records are plain data: picklable for the worker pool and
+JSON-round-trippable for the on-disk cache and sweep checkpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config.schema import SystemConfig
+from repro.perf.workload import Workload
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """Flattened result of evaluating one system configuration.
+
+    Attributes:
+        name: The config's chip label.
+        key: Content-hash cache key of (config, workload).
+        area_mm2: Die area.
+        tdp_w: Peak dynamic + leakage power.
+        peak_dynamic_w: Chip peak dynamic power.
+        leakage_w: Chip leakage at the design temperature.
+        core_area_mm2: One core's area.
+        core_peak_dynamic_w: One core's peak dynamic power.
+        core_leakage_w: One core's leakage.
+        runtime_s: Workload run time (None without a workload).
+        power_w: Workload runtime power (None without a workload).
+        throughput_ips: Committed instructions/s (None without a workload).
+        from_cache: True when this record was served from a cache or
+            checkpoint rather than computed (excluded from equality).
+    """
+
+    name: str
+    key: str
+    area_mm2: float
+    tdp_w: float
+    peak_dynamic_w: float
+    leakage_w: float
+    core_area_mm2: float
+    core_peak_dynamic_w: float
+    core_leakage_w: float
+    runtime_s: float | None = None
+    power_w: float | None = None
+    throughput_ips: float | None = None
+    from_cache: bool = field(default=False, compare=False)
+
+    @property
+    def energy_j(self) -> float | None:
+        """Workload energy (None without a workload)."""
+        if self.runtime_s is None or self.power_w is None:
+            return None
+        return self.runtime_s * self.power_w
+
+    @property
+    def edp(self) -> float | None:
+        """Energy-delay product (None without a workload)."""
+        energy = self.energy_j
+        if energy is None:
+            return None
+        return energy * self.runtime_s
+
+    @property
+    def ed2p(self) -> float | None:
+        """Energy-delay^2 product (None without a workload)."""
+        edp = self.edp
+        if edp is None:
+            return None
+        return edp * self.runtime_s
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of TDP."""
+        return self.leakage_w / self.tdp_w if self.tdp_w else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize for the JSONL cache/checkpoint stores."""
+        data = dataclasses.asdict(self)
+        del data["from_cache"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EvalRecord":
+        """Rebuild a record written by :meth:`to_dict`."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def evaluate_config(
+    config: SystemConfig,
+    workload: Workload | None = None,
+    key: str = "",
+) -> EvalRecord:
+    """Model one chip and flatten the result into an :class:`EvalRecord`.
+
+    This is the single evaluation the engine fans out; it runs inside
+    worker processes, so it imports nothing process-global and returns
+    plain data.
+    """
+    from repro.chip import Processor
+
+    processor = Processor(config)
+    core_result = processor.core.result(config.clock_hz, None)
+
+    runtime_s = power_w = throughput_ips = None
+    if workload is not None:
+        from repro.perf import MulticoreSimulator
+
+        sim = MulticoreSimulator(processor).run(workload)
+        runtime_s = sim.runtime_s
+        throughput_ips = sim.throughput_ips
+        power_w = processor.report(sim.activity).total_runtime_power
+
+    return EvalRecord(
+        name=config.name,
+        key=key,
+        area_mm2=processor.area * 1e6,
+        tdp_w=processor.tdp,
+        peak_dynamic_w=processor.peak_dynamic_power,
+        leakage_w=processor.leakage_power,
+        core_area_mm2=core_result.total_area * 1e6,
+        core_peak_dynamic_w=core_result.total_peak_dynamic_power,
+        core_leakage_w=core_result.total_leakage_power,
+        runtime_s=runtime_s,
+        power_w=power_w,
+        throughput_ips=throughput_ips,
+    )

@@ -1,0 +1,276 @@
+"""Declarative parameter sweeps with checkpoint/resume.
+
+A :class:`SweepSpec` names parameter axes over a base
+:class:`~repro.config.schema.SystemConfig`; the cross product of the
+axis values defines the candidate grid. Axes address config fields by
+name or dotted path (``core.issue_width``), with short aliases for the
+common sweep dimensions (``cores``, ``tech_nm``).
+
+:func:`run_sweep` evaluates the grid through the batch engine and can
+append every finished point to a JSONL checkpoint; re-running with the
+same checkpoint file resumes with exactly the unevaluated remainder.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.config.loader import (
+    system_config_from_dict,
+    system_config_to_dict,
+)
+from repro.config.schema import SystemConfig
+from repro.engine.cache import DEFAULT_CACHE, EvalCache, config_key
+from repro.engine.record import EvalRecord
+from repro.perf.workload import Workload
+
+#: Short axis names for the usual sweep dimensions.
+AXIS_ALIASES = {
+    "cores": "n_cores",
+    "tech_nm": "node_nm",
+    "node": "node_nm",
+}
+
+
+def _resolve_path(base_dict: dict[str, Any], name: str) -> str:
+    """Resolve an axis name to a dotted config path, validating it."""
+    path = AXIS_ALIASES.get(name, name)
+    node: Any = base_dict
+    parts = path.split(".")
+    for i, part in enumerate(parts):
+        if not isinstance(node, dict) or part not in node:
+            where = ".".join(parts[:i]) or "the config root"
+            options = (
+                ", ".join(sorted(node)) if isinstance(node, dict)
+                else "no sub-fields"
+            )
+            raise ValueError(
+                f"unknown sweep axis {name!r}: {part!r} not found under "
+                f"{where} (available: {options})"
+            )
+        node = node[part]
+    return path
+
+
+def _set_path(config_dict: dict[str, Any], path: str, value: Any) -> None:
+    node = config_dict
+    parts = path.split(".")
+    for part in parts[:-1]:
+        node = node[part]
+    node[parts[-1]] = value
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named parameter axis.
+
+    Attributes:
+        name: Axis name as given (possibly an alias).
+        path: Resolved dotted path into the config.
+        values: The values swept, in order.
+    """
+
+    name: str
+    path: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One candidate of the grid: its axis settings and built config."""
+
+    overrides: dict[str, Any]
+    config: SystemConfig
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """One evaluated grid point."""
+
+    overrides: dict[str, Any]
+    config: SystemConfig
+    record: EvalRecord
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: named axes crossed over a base config."""
+
+    base: SystemConfig
+    axes: tuple[SweepAxis, ...]
+
+    @classmethod
+    def from_axes(
+        cls,
+        base: SystemConfig,
+        axes: Mapping[str, Sequence[Any]],
+    ) -> "SweepSpec":
+        """Build a spec from ``{axis name: values}``.
+
+        Raises:
+            ValueError: On an unknown axis name/path or an empty axis.
+        """
+        base_dict = system_config_to_dict(base)
+        resolved = []
+        for name, values in axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            path = _resolve_path(base_dict, name)
+            resolved.append(SweepAxis(
+                name=name, path=path, values=tuple(values),
+            ))
+        if not resolved:
+            raise ValueError("a sweep needs at least one axis")
+        return cls(base=base, axes=tuple(resolved))
+
+    @property
+    def n_points(self) -> int:
+        """Grid size (product of axis lengths)."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def points(self) -> list[SweepPoint]:
+        """The full cross product, last axis varying fastest."""
+        base_dict = system_config_to_dict(self.base)
+        built: list[SweepPoint] = []
+        for combo in itertools.product(*(a.values for a in self.axes)):
+            config_dict = copy.deepcopy(base_dict)
+            overrides: dict[str, Any] = {}
+            for axis, value in zip(self.axes, combo):
+                _set_path(config_dict, axis.path, value)
+                overrides[axis.name] = value
+            built.append(SweepPoint(
+                overrides=overrides,
+                config=system_config_from_dict(config_dict),
+            ))
+        return built
+
+
+def _load_checkpoint(path: Path) -> dict[str, EvalRecord]:
+    """Read finished points from a checkpoint, skipping bad lines."""
+    done: dict[str, EvalRecord] = {}
+    if not path.exists():
+        return done
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            done[entry["key"]] = EvalRecord.from_dict(entry["record"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            continue
+    return done
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workload: Workload | None = None,
+    jobs: int = 1,
+    cache: "EvalCache | None" = DEFAULT_CACHE,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 16,
+) -> list[SweepPointResult]:
+    """Evaluate a sweep grid, optionally checkpointing each point.
+
+    Args:
+        spec: The sweep definition.
+        workload: Optional workload for runtime metrics.
+        jobs: Worker processes for the evaluation engine.
+        cache: Result cache (defaults to the engine's shared cache; pass
+            ``None`` to force re-evaluation).
+        checkpoint_path: JSONL file appended to as points finish. If it
+            already holds points of this grid, they are not re-evaluated.
+        checkpoint_every: Points evaluated between checkpoint appends
+            (bounds how much work an interrupt can lose).
+
+    Returns:
+        One result per grid point, in grid order.
+    """
+    from repro.engine import evaluate_many
+
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+
+    points = spec.points()
+    keys = [config_key(p.config, workload) for p in points]
+
+    done: dict[str, EvalRecord] = {}
+    checkpoint = Path(checkpoint_path) if checkpoint_path else None
+    if checkpoint is not None:
+        done = _load_checkpoint(checkpoint)
+
+    records: dict[str, EvalRecord] = {}
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        if key in done:
+            records[key] = dataclasses.replace(done[key], from_cache=True)
+        else:
+            pending.append(i)
+
+    for start in range(0, len(pending), checkpoint_every):
+        batch = pending[start:start + checkpoint_every]
+        fresh = evaluate_many(
+            [points[i].config for i in batch],
+            workload=workload,
+            jobs=jobs,
+            cache=cache,
+        )
+        lines = []
+        for i, record in zip(batch, fresh):
+            records[keys[i]] = record
+            lines.append(json.dumps(
+                {
+                    "key": keys[i],
+                    "overrides": points[i].overrides,
+                    "record": record.to_dict(),
+                },
+                sort_keys=True,
+            ))
+        if checkpoint is not None and lines:
+            with checkpoint.open("a") as handle:
+                handle.write("\n".join(lines) + "\n")
+
+    return [
+        SweepPointResult(
+            overrides=point.overrides,
+            config=point.config,
+            record=records[key],
+        )
+        for point, key in zip(points, keys)
+    ]
+
+
+def format_sweep_table(results: Iterable[SweepPointResult]) -> str:
+    """Render sweep results as an aligned text table."""
+    results = list(results)
+    if not results:
+        return "(empty sweep)"
+    axis_names = list(results[0].overrides)
+    has_runtime = results[0].record.runtime_s is not None
+    header = "".join(f"{name:>12} " for name in axis_names)
+    header += f"{'area mm2':>9} {'TDP W':>8} {'leak W':>8}"
+    if has_runtime:
+        header += f" {'time s':>9} {'EDP':>10}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        row = "".join(
+            f"{result.overrides[name]!s:>12} " for name in axis_names
+        )
+        record = result.record
+        row += (
+            f"{record.area_mm2:>9.1f} {record.tdp_w:>8.1f} "
+            f"{record.leakage_w:>8.2f}"
+        )
+        if has_runtime:
+            row += f" {record.runtime_s:>9.3f} {record.edp:>10.2f}"
+        lines.append(row)
+    return "\n".join(lines)

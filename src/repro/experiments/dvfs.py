@@ -13,10 +13,10 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from repro.chip import Processor
 from repro.config import presets
 from repro.config.schema import SystemConfig
-from repro.perf import MulticoreSimulator, SPLASH2_PROFILES, Workload
+from repro.engine import DEFAULT_CACHE, EvalCache, evaluate_many
+from repro.perf import SPLASH2_PROFILES, Workload
 from repro.tech import Technology
 
 #: Relative supply points swept (fractions of nominal Vdd).
@@ -51,14 +51,21 @@ def run_dvfs_study(
     base_config: SystemConfig | None = None,
     workload: Workload | None = None,
     voltage_points: tuple[float, ...] = DEFAULT_VOLTAGE_POINTS,
+    jobs: int = 1,
+    cache: EvalCache | None = DEFAULT_CACHE,
 ) -> list[DvfsPoint]:
     """Sweep relative supply points for one chip and workload.
+
+    The operating points are evaluated as one engine batch, so
+    ``jobs > 1`` parallelizes the sweep and repeat runs hit the cache.
 
     Args:
         base_config: Chip at its nominal operating point (defaults to the
             Niagara2 preset).
         workload: Study workload (defaults to 'barnes').
         voltage_points: Relative Vdd multipliers to evaluate.
+        jobs: Worker processes for the evaluation engine.
+        cache: Result cache (``None`` forces re-evaluation).
     """
     base_config = base_config or presets.niagara2()
     workload = workload or SPLASH2_PROFILES["barnes"]
@@ -70,26 +77,29 @@ def run_dvfs_study(
     )
     nominal_vdd = nominal_tech.vdd
 
-    points: list[DvfsPoint] = []
+    configs = []
     for relative in voltage_points:
         vdd = relative * nominal_vdd
         scale = nominal_tech.at_voltage(vdd).max_clock_scale
-        config = dataclasses.replace(
+        configs.append(dataclasses.replace(
             base_config,
             vdd_v=vdd,
             clock_hz=base_config.clock_hz * scale,
-        )
-        processor = Processor(config)
-        result = MulticoreSimulator(processor).run(workload)
-        power = processor.report(result.activity).total_runtime_power
-        points.append(DvfsPoint(
-            vdd_v=vdd,
-            clock_hz=config.clock_hz,
-            throughput_gips=result.throughput_ips / 1e9,
-            power_w=power,
-            tdp_w=processor.tdp,
         ))
-    return points
+
+    records = evaluate_many(
+        configs, workload=workload, jobs=jobs, cache=cache,
+    )
+    return [
+        DvfsPoint(
+            vdd_v=config.vdd_v,
+            clock_hz=config.clock_hz,
+            throughput_gips=record.throughput_ips / 1e9,
+            power_w=record.power_w,
+            tdp_w=record.tdp_w,
+        )
+        for config, record in zip(configs, records)
+    ]
 
 
 def format_dvfs_table(points: list[DvfsPoint]) -> str:

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.chip import Processor
 from repro.config import presets
+from repro.engine import DEFAULT_CACHE, EvalCache, evaluate_many
 
 #: Nodes swept.
 DEFAULT_NODES = (90, 65, 45, 32, 22)
@@ -47,48 +47,69 @@ class ScalingPoint:
     limiter: str
 
 
-def _evaluate(node_nm: int, n_cores: int) -> tuple[float, float]:
-    config = presets.manycore_cluster(
+def _candidate(node_nm: int, n_cores: int):
+    return presets.manycore_cluster(
         n_cores=n_cores,
         cores_per_cluster=min(4, n_cores),
         node_nm=node_nm,
         clock_hz=1.5e9,
     )
-    processor = Processor(config)
-    return processor.area * 1e6, processor.tdp
 
 
 def run_manycore_scaling(
     nodes: tuple[int, ...] = DEFAULT_NODES,
     area_budget_mm2: float = DEFAULT_AREA_BUDGET_MM2,
     power_budget_w: float = DEFAULT_POWER_BUDGET_W,
+    jobs: int = 1,
+    cache: EvalCache | None = DEFAULT_CACHE,
 ) -> list[ScalingPoint]:
     """Find the max core count per node under both budgets.
+
+    The count ladder is climbed one rung at a time, but each rung
+    evaluates every still-feasible node as one engine batch, so the
+    study parallelizes across nodes with ``jobs > 1`` and repeat runs
+    hit the cache.
 
     Raises:
         ValueError: If even the smallest candidate busts a budget.
     """
+    best: dict[int, tuple[int, float, float]] = {}
+    limiter: dict[int, str] = {node: "none" for node in nodes}
+    alive = list(dict.fromkeys(nodes))
+    for count in _CANDIDATE_COUNTS:
+        if not alive:
+            break
+        records = evaluate_many(
+            [_candidate(node, count) for node in alive],
+            jobs=jobs,
+            cache=cache,
+        )
+        survivors = []
+        for node, record in zip(alive, records):
+            area, tdp = record.area_mm2, record.tdp_w
+            if area > area_budget_mm2 or tdp > power_budget_w:
+                limiter[node] = (
+                    "area" if area > area_budget_mm2 else "power"
+                )
+                continue
+            best[node] = (count, area, tdp)
+            survivors.append(node)
+        alive = survivors
+
     points: list[ScalingPoint] = []
     for node in nodes:
-        best: tuple[int, float, float] | None = None
-        limiter = "none"
-        for count in _CANDIDATE_COUNTS:
-            area, tdp = _evaluate(node, count)
-            if area > area_budget_mm2 or tdp > power_budget_w:
-                limiter = "area" if area > area_budget_mm2 else "power"
-                break
-            best = (count, area, tdp)
-        if best is None:
+        if node not in best:
             raise ValueError(
                 f"even {_CANDIDATE_COUNTS[0]} cores bust the budget at "
                 f"{node} nm"
             )
+        count, area, tdp = best[node]
         points.append(ScalingPoint(
             node_nm=node,
-            max_cores=best[0],
-            area_mm2=best[1],
-            tdp_w=best[2],
-            limiter=limiter,
+            max_cores=count,
+            area_mm2=area,
+            tdp_w=tdp,
+            limiter=limiter[node],
         ))
     return points
 

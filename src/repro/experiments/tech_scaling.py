@@ -8,12 +8,12 @@ while HP leakage grows to claim an ever-larger share.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
-from repro.activity import CoreActivity
 from repro.config import presets
-from repro.core import Core
-from repro.tech import DeviceType, Technology
+from repro.engine import DEFAULT_CACHE, EvalCache, evaluate_many
+from repro.tech import DeviceType
 
 #: Nodes swept (the 180 nm legacy node is omitted: its devices predate
 #: the HP/LSTP split the figure is about).
@@ -48,26 +48,41 @@ class ScalingRow:
 def run_tech_scaling(
     clock_hz: float = 1.4e9,
     nodes: tuple[int, ...] = SCALING_NODES,
+    jobs: int = 1,
+    cache: EvalCache | None = DEFAULT_CACHE,
 ) -> list[ScalingRow]:
-    """Sweep the fixed core across nodes and device flavors."""
-    core_config = presets.niagara2().core
-    rows: list[ScalingRow] = []
-    for node in nodes:
-        for flavor in (DeviceType.HP, DeviceType.LSTP):
-            tech = Technology(
-                node_nm=node, temperature_k=360.0, device_type=flavor,
-            )
-            result = Core(tech, core_config).result(
-                clock_hz, CoreActivity.peak(core_config.issue_width)
-            )
-            rows.append(ScalingRow(
-                node_nm=node,
-                device_type=flavor,
-                area_mm2=result.total_area * 1e6,
-                peak_dynamic_w=result.total_peak_dynamic_power,
-                leakage_w=result.total_leakage_power,
-            ))
-    return rows
+    """Sweep the fixed core across nodes and device flavors.
+
+    The (node, flavor) grid is evaluated through the batch engine, so
+    ``jobs > 1`` parallelizes the sweep and repeat runs hit the cache.
+    """
+    base = presets.niagara2()
+    grid = [
+        (node, flavor)
+        for node in nodes
+        for flavor in (DeviceType.HP, DeviceType.LSTP)
+    ]
+    configs = [
+        dataclasses.replace(
+            base,
+            node_nm=node,
+            device_type=flavor,
+            clock_hz=clock_hz,
+            temperature_k=360.0,
+        )
+        for node, flavor in grid
+    ]
+    records = evaluate_many(configs, jobs=jobs, cache=cache)
+    return [
+        ScalingRow(
+            node_nm=node,
+            device_type=flavor,
+            area_mm2=record.core_area_mm2,
+            peak_dynamic_w=record.core_peak_dynamic_w,
+            leakage_w=record.core_leakage_w,
+        )
+        for (node, flavor), record in zip(grid, records)
+    ]
 
 
 def format_scaling_table(rows: list[ScalingRow]) -> str:

@@ -5,6 +5,11 @@ power/performance objective under area/power constraints, fast enough to
 sweep hundreds of points. This module evaluates a list of
 :class:`~repro.config.schema.SystemConfig` candidates, optionally with a
 workload for runtime metrics, and ranks feasible ones by the objective.
+
+Candidate scoring runs on the batch engine
+(:func:`repro.engine.evaluate_many`), so sweeps fan out over worker
+processes with ``jobs > 1`` and repeated candidates are served from the
+content-hash cache.
 """
 
 from __future__ import annotations
@@ -12,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.chip import Processor
 from repro.config.schema import SystemConfig
-from repro.perf import MulticoreSimulator, Workload
+from repro.engine import DEFAULT_CACHE, EvalCache, evaluate_many
+from repro.perf import Workload
 
 
 class DesignObjective(str, Enum):
@@ -124,11 +129,15 @@ def sweep_designs(
     objective: DesignObjective = DesignObjective.EDP,
     constraints: DesignConstraints | None = None,
     workload: Workload | None = None,
+    jobs: int = 1,
+    cache: EvalCache | None = DEFAULT_CACHE,
 ) -> list[DesignCandidate]:
     """Evaluate and rank candidate designs, best first.
 
     Feasible candidates sort before infeasible ones; within each group the
-    objective ranks them.
+    objective ranks them. Evaluation goes through the batch engine:
+    ``jobs > 1`` fans candidates out over worker processes, and already-
+    evaluated candidates are served from ``cache``.
 
     Raises:
         ValueError: If ``candidates`` is empty, or a runtime objective is
@@ -142,27 +151,23 @@ def sweep_designs(
         )
     constraints = constraints or DesignConstraints()
 
+    records = evaluate_many(
+        candidates, workload=workload, jobs=jobs, cache=cache,
+    )
     evaluated: list[DesignCandidate] = []
-    for config in candidates:
-        processor = Processor(config)
-        area_mm2 = processor.area * 1e6
-        tdp = processor.tdp
-        runtime = power = None
-        if workload is not None:
-            result = MulticoreSimulator(processor).run(workload)
-            runtime = result.runtime_s
-            power = processor.report(result.activity).total_runtime_power
+    for config, record in zip(candidates, records):
         feasible = True
         if constraints.max_area_mm2 is not None:
-            feasible = feasible and area_mm2 <= constraints.max_area_mm2
+            feasible = (feasible
+                        and record.area_mm2 <= constraints.max_area_mm2)
         if constraints.max_tdp_w is not None:
-            feasible = feasible and tdp <= constraints.max_tdp_w
+            feasible = feasible and record.tdp_w <= constraints.max_tdp_w
         evaluated.append(DesignCandidate(
             config=config,
-            area_mm2=area_mm2,
-            tdp_w=tdp,
-            runtime_s=runtime,
-            power_w=power,
+            area_mm2=record.area_mm2,
+            tdp_w=record.tdp_w,
+            runtime_s=record.runtime_s,
+            power_w=record.power_w,
             feasible=feasible,
         ))
 

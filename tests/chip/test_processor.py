@@ -9,13 +9,13 @@ from repro.config.schema import CoreConfig, SystemConfig
 
 
 @pytest.fixture(scope="module")
-def niagara():
-    return Processor(presets.niagara1())
+def niagara(preset_processors):
+    return preset_processors("niagara1")
 
 
 @pytest.fixture(scope="module")
-def tulsa():
-    return Processor(presets.xeon_tulsa())
+def tulsa(preset_processors):
+    return preset_processors("xeon_tulsa")
 
 
 class TestAssembly:
@@ -92,16 +92,16 @@ class TestValidationBands:
     }
 
     @pytest.mark.parametrize("name", list(PUBLISHED))
-    def test_power_within_band(self, name):
+    def test_power_within_band(self, name, preset_processors):
         power, _ = self.PUBLISHED[name]
-        processor = Processor(presets.VALIDATION_PRESETS[name]())
+        processor = preset_processors(name)
         error = abs(processor.tdp - power) / power
         assert error < 0.25, f"{name}: {processor.tdp:.1f} vs {power}"
 
     @pytest.mark.parametrize("name", list(PUBLISHED))
-    def test_area_within_band(self, name):
+    def test_area_within_band(self, name, preset_processors):
         _, area = self.PUBLISHED[name]
-        processor = Processor(presets.VALIDATION_PRESETS[name]())
+        processor = preset_processors(name)
         error = abs(processor.area * 1e6 - area) / area
         assert error < 0.40, f"{name}: {processor.area * 1e6:.1f} vs {area}"
 

@@ -1,0 +1,59 @@
+"""Shared fixtures: cheap configs and session-cached preset builds."""
+
+import pytest
+
+from repro.chip import Processor
+from repro.config import presets
+from repro.config.schema import (
+    CacheGeometry,
+    CoreConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    NocTopology,
+    SystemConfig,
+)
+
+
+def make_tiny_config(**overrides) -> SystemConfig:
+    """A minimal single-core chip that evaluates in well under a second."""
+    fields = dict(
+        name="tiny",
+        node_nm=45,
+        clock_hz=1.0e9,
+        n_cores=1,
+        core=CoreConfig(
+            name="tiny-core",
+            icache=CacheGeometry(capacity_bytes=8 * 1024),
+            dcache=CacheGeometry(capacity_bytes=8 * 1024),
+            branch_predictor=None,
+        ),
+        l2=None,
+        noc=NocConfig(topology=NocTopology.NONE),
+        memory_controller=MemoryControllerConfig(channels=1),
+    )
+    fields.update(overrides)
+    return SystemConfig(**fields)
+
+
+@pytest.fixture(scope="session")
+def tiny_config_factory():
+    """Factory for cheap configs (see :func:`make_tiny_config`)."""
+    return make_tiny_config
+
+
+@pytest.fixture(scope="session")
+def preset_processors():
+    """Session-cached Processor builds for the validation presets.
+
+    Building a preset chip costs ~2 s; several test modules want the
+    same four chips. This fixture builds each at most once per session —
+    callers must treat the returned Processors as read-only.
+    """
+    built: dict[str, Processor] = {}
+
+    def get(name: str) -> Processor:
+        if name not in built:
+            built[name] = Processor(presets.VALIDATION_PRESETS[name]())
+        return built[name]
+
+    return get

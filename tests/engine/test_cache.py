@@ -1,0 +1,147 @@
+"""Tests for the content-hash cache layer (no model evaluations here)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import EvalCache, EvalRecord, config_key
+from repro.perf import SPLASH2_PROFILES
+
+from tests.conftest import make_tiny_config
+
+
+def record(key="k", tdp=10.0) -> EvalRecord:
+    return EvalRecord(
+        name="r", key=key, area_mm2=1.0, tdp_w=tdp, peak_dynamic_w=8.0,
+        leakage_w=2.0, core_area_mm2=0.5, core_peak_dynamic_w=4.0,
+        core_leakage_w=1.0,
+    )
+
+
+class TestConfigKey:
+    def test_same_config_same_key(self):
+        assert config_key(make_tiny_config()) == config_key(
+            make_tiny_config())
+
+    def test_independent_builds_share_keys(self):
+        """Two structurally equal configs hash alike however built."""
+        a = make_tiny_config(n_cores=2)
+        b = dataclasses.replace(make_tiny_config(), n_cores=2)
+        assert config_key(a) == config_key(b)
+
+    @pytest.mark.parametrize("override", [
+        {"n_cores": 2},
+        {"node_nm": 32},
+        {"clock_hz": 2.0e9},
+        {"temperature_k": 340.0},
+        {"name": "other"},
+        {"whitespace_fraction": 0.13},
+    ])
+    def test_any_field_change_changes_key(self, override):
+        assert config_key(make_tiny_config(**override)) != config_key(
+            make_tiny_config())
+
+    def test_nested_field_change_changes_key(self):
+        base = make_tiny_config()
+        changed = dataclasses.replace(
+            base,
+            core=dataclasses.replace(base.core, issue_width=2),
+        )
+        assert config_key(changed) != config_key(base)
+
+    def test_workload_changes_key(self):
+        config = make_tiny_config()
+        assert config_key(config) != config_key(
+            config, SPLASH2_PROFILES["lu"])
+        assert config_key(config, SPLASH2_PROFILES["lu"]) != config_key(
+            config, SPLASH2_PROFILES["fft"])
+
+
+class TestEvalCacheMemory:
+    def test_get_miss_then_hit(self):
+        cache = EvalCache()
+        assert cache.get("k") is None
+        cache.put("k", record())
+        hit = cache.get("k")
+        assert hit == record()
+        assert hit.from_cache is True
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = EvalCache(max_entries=2)
+        cache.put("a", record("a"))
+        cache.put("b", record("b"))
+        cache.get("a")  # refresh 'a'
+        cache.put("c", record("c"))
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            EvalCache(max_entries=0)
+
+
+class TestEvalCacheDisk:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        first = EvalCache(path=path)
+        first.put("k1", record("k1", tdp=11.0))
+        first.put("k2", record("k2", tdp=12.0))
+
+        reloaded = EvalCache(path=path)
+        assert len(reloaded) == 2
+        assert reloaded.get("k1").tdp_w == 11.0
+        assert reloaded.get("k2").from_cache is True
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        EvalCache(path=path).put("good", record("good"))
+        with path.open("a") as handle:
+            handle.write("{not json\n")
+            handle.write(json.dumps({"no": "key"}) + "\n")
+        reloaded = EvalCache(path=path)
+        assert len(reloaded) == 1
+        assert reloaded.get("good") is not None
+
+    def test_put_same_key_appends_once(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = EvalCache(path=path)
+        cache.put("k", record("k", tdp=1.0))
+        cache.put("k", record("k", tdp=2.0))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_clear_keeps_disk(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = EvalCache(path=path)
+        cache.put("k", record("k"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == 0
+        assert EvalCache(path=path).get("k") is not None
+
+
+class TestEvalRecord:
+    def test_dict_round_trip(self):
+        rec = record("k", tdp=42.0)
+        again = EvalRecord.from_dict(rec.to_dict())
+        assert again == rec
+
+    def test_runtime_properties_none_without_workload(self):
+        rec = record()
+        assert rec.energy_j is None
+        assert rec.edp is None
+        assert rec.ed2p is None
+
+    def test_runtime_property_chain(self):
+        rec = dataclasses.replace(record(), runtime_s=2.0, power_w=10.0)
+        assert rec.energy_j == pytest.approx(20.0)
+        assert rec.edp == pytest.approx(40.0)
+        assert rec.ed2p == pytest.approx(80.0)
+
+    def test_leakage_fraction(self):
+        assert record().leakage_fraction == pytest.approx(0.2)
+
+    def test_from_cache_excluded_from_equality(self):
+        assert dataclasses.replace(record(), from_cache=True) == record()

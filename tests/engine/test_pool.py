@@ -1,0 +1,95 @@
+"""Tests for the worker pool: chunking, fallbacks, crash recovery."""
+
+import os
+import signal
+
+import pytest
+
+from repro.engine import config_key
+from repro.engine import pool
+from repro.engine.pool import evaluate_payloads, split_chunks
+
+from tests.conftest import make_tiny_config
+
+#: Captured in the parent at import time, so forked workers see a
+#: different ``os.getpid()``.
+_PARENT_PID = os.getpid()
+
+#: The real chunk evaluator, saved before any monkeypatching.
+_REAL_CHUNK = pool._evaluate_chunk
+
+
+def _suicidal_chunk(chunk):
+    """Kill the process when running in a worker; evaluate in the parent.
+
+    Module-level so the pool can pickle it by reference; forked workers
+    inherit the monkeypatched module state and resolve it here.
+    """
+    if os.getpid() != _PARENT_PID:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_CHUNK(chunk)
+
+
+def _payload(**overrides):
+    config = make_tiny_config(**overrides)
+    return (config_key(config), config, None)
+
+
+class TestSplitChunks:
+    def test_preserves_order_and_content(self):
+        payloads = list(range(10))
+        chunks = split_chunks(payloads, jobs=3)
+        assert [x for chunk in chunks for x in chunk] == payloads
+
+    def test_chunk_sizes_balanced(self):
+        chunks = split_chunks(list(range(103)), jobs=4)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(size > 0 for size in sizes)
+
+    def test_never_more_chunks_than_payloads(self):
+        assert len(split_chunks([1, 2], jobs=8)) == 2
+
+
+class TestFallbacks:
+    def test_jobs_one_is_serial(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool must not be created for jobs=1")
+
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", boom)
+        records = evaluate_payloads([_payload()], jobs=1)
+        assert len(records) == 1
+        assert records[0].tdp_w > 0
+
+    def test_no_fork_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(pool, "fork_available", lambda: False)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool must not be created without fork")
+
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", boom)
+        records = evaluate_payloads(
+            [_payload(n_cores=1), _payload(n_cores=2)], jobs=4)
+        assert len(records) == 2
+
+    def test_keys_threaded_through(self):
+        payload = _payload()
+        record, = evaluate_payloads([payload], jobs=1)
+        assert record.key == payload[0]
+
+
+class TestCrashRecovery:
+    def test_dead_worker_chunk_reruns_serially(self, monkeypatch):
+        """A SIGKILLed worker must not lose results: the parent re-runs
+        the failed chunks serially and still returns them in order."""
+        if not pool.fork_available():
+            pytest.skip("needs fork")
+        monkeypatch.setattr(pool, "_evaluate_chunk", _suicidal_chunk)
+
+        payloads = [_payload(n_cores=1), _payload(n_cores=2)]
+        records = evaluate_payloads(payloads, jobs=2)
+
+        assert [r.key for r in records] == [p[0] for p in payloads]
+        assert all(r.tdp_w > 0 for r in records)
+        # And the recovered results match a clean serial run exactly.
+        assert records == _REAL_CHUNK(payloads)

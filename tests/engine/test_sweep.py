@@ -1,0 +1,139 @@
+"""Tests for declarative sweeps: grids, aliases, checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    EvalCache,
+    SweepSpec,
+    format_sweep_table,
+    run_sweep,
+)
+
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec.from_axes(
+        make_tiny_config(),
+        {"cores": (1, 2), "clock_hz": (1.0e9, 2.0e9)},
+    )
+
+
+@pytest.fixture(scope="module")
+def results(spec):
+    return run_sweep(spec, cache=EvalCache())
+
+
+class TestSpec:
+    def test_cross_product_size_and_order(self, spec):
+        assert spec.n_points == 4
+        points = spec.points()
+        # Last axis varies fastest.
+        assert [p.overrides for p in points] == [
+            {"cores": 1, "clock_hz": 1.0e9},
+            {"cores": 1, "clock_hz": 2.0e9},
+            {"cores": 2, "clock_hz": 1.0e9},
+            {"cores": 2, "clock_hz": 2.0e9},
+        ]
+
+    def test_alias_reaches_config_field(self, spec):
+        points = spec.points()
+        assert points[0].config.n_cores == 1
+        assert points[2].config.n_cores == 2
+        assert points[1].config.clock_hz == 2.0e9
+
+    def test_dotted_path_reaches_nested_field(self):
+        spec = SweepSpec.from_axes(
+            make_tiny_config(), {"core.issue_width": (1, 2)})
+        widths = [p.config.core.issue_width for p in spec.points()]
+        assert widths == [1, 2]
+
+    def test_unknown_axis_rejected_with_candidates(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            SweepSpec.from_axes(make_tiny_config(), {"warp_factor": (9,)})
+        with pytest.raises(ValueError, match="issue_width"):
+            SweepSpec.from_axes(
+                make_tiny_config(), {"core.warp_factor": (9,)})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec.from_axes(make_tiny_config(), {"cores": ()})
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepSpec.from_axes(make_tiny_config(), {})
+
+
+class TestRunSweep:
+    def test_results_align_with_grid(self, spec, results):
+        assert len(results) == 4
+        for result in results:
+            assert result.config.n_cores == result.overrides["cores"]
+            assert result.record.tdp_w > 0
+
+    def test_more_cores_cost_more(self, results):
+        by_overrides = {
+            (r.overrides["cores"], r.overrides["clock_hz"]): r.record
+            for r in results
+        }
+        assert (by_overrides[(2, 1.0e9)].area_mm2
+                > by_overrides[(1, 1.0e9)].area_mm2)
+
+    def test_checkpoint_written_and_resumed(self, spec, results, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        cache = EvalCache()
+        first = run_sweep(spec, cache=cache, checkpoint_path=checkpoint)
+        assert len(checkpoint.read_text().splitlines()) == 4
+
+        # Resume with a cold cache: nothing is re-evaluated.
+        cold = EvalCache()
+        second = run_sweep(spec, cache=cold, checkpoint_path=checkpoint)
+        assert cold.misses == 0 and cold.hits == 0
+        assert all(r.record.from_cache for r in second)
+        assert [r.record for r in second] == [r.record for r in first]
+
+    def test_resume_evaluates_exactly_the_remainder(
+            self, spec, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        run_sweep(spec, cache=EvalCache(), checkpoint_path=checkpoint)
+        lines = checkpoint.read_text().splitlines()
+
+        # Simulate an interrupt: only half the grid was checkpointed.
+        checkpoint.write_text("\n".join(lines[:2]) + "\n")
+        cold = EvalCache()
+        resumed = run_sweep(
+            spec, cache=cold, checkpoint_path=checkpoint)
+        assert cold.misses == 2  # exactly the missing half
+        assert len(resumed) == 4
+        finished = {
+            json.loads(line)["key"]
+            for line in checkpoint.read_text().splitlines()
+        }
+        assert len(finished) == 4
+
+    def test_corrupt_checkpoint_lines_ignored(self, spec, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        run_sweep(spec, cache=EvalCache(), checkpoint_path=checkpoint)
+        with checkpoint.open("a") as handle:
+            handle.write("{broken\n")
+        resumed = run_sweep(
+            spec, cache=EvalCache(), checkpoint_path=checkpoint)
+        assert all(r.record.from_cache for r in resumed)
+
+    def test_checkpoint_every_validated(self, spec):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            run_sweep(spec, checkpoint_every=0)
+
+
+class TestFormatting:
+    def test_table_has_axes_and_metrics(self, results):
+        text = format_sweep_table(results)
+        assert "cores" in text
+        assert "clock_hz" in text
+        assert "TDP W" in text
+
+    def test_empty_table(self):
+        assert "empty" in format_sweep_table([])

@@ -1,9 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.config import presets, save_system_config
+from repro.config.loader import system_config_to_dict
+
+from tests.conftest import make_tiny_config
 
 
 class TestReport:
@@ -25,6 +30,20 @@ class TestReport:
         with pytest.raises(SystemExit, match="unknown config"):
             main(["report", "not-a-chip"])
 
+    def test_invalid_json_reports_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        with pytest.raises(SystemExit, match="not valid JSON") as excinfo:
+            main(["report", str(path)])
+        assert str(path) in str(excinfo.value)
+
+    def test_malformed_config_reports_path(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"this": "is not a SystemConfig"}))
+        with pytest.raises(SystemExit, match="malformed") as excinfo:
+            main(["report", str(path)])
+        assert str(path) in str(excinfo.value)
+
     def test_missing_command_fails(self):
         with pytest.raises(SystemExit):
             main([])
@@ -41,3 +60,31 @@ class TestExperimentCommands:
         assert main(["clustering", "--cores", "8"]) == 0
         out = capsys.readouterr().out
         assert "EDP" in out
+
+
+class TestSweep:
+    @pytest.fixture()
+    def tiny_json(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(system_config_to_dict(make_tiny_config())))
+        return str(path)
+
+    def test_sweep_over_config_file(self, tiny_json, capsys):
+        assert main(["sweep", tiny_json, "--axis", "cores=1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "2-point sweep of tiny" in out
+        assert "cores" in out
+        assert "TDP W" in out
+
+    def test_bad_axis_spec_fails(self, tiny_json):
+        with pytest.raises(SystemExit, match="bad --axis"):
+            main(["sweep", tiny_json, "--axis", "cores"])
+
+    def test_unknown_axis_fails(self, tiny_json):
+        with pytest.raises(SystemExit, match="unknown sweep axis"):
+            main(["sweep", tiny_json, "--axis", "warp_factor=1,2"])
+
+    def test_unknown_workload_fails(self, tiny_json):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["sweep", tiny_json, "--axis", "cores=1",
+                  "--workload", "doom"])

@@ -6,7 +6,7 @@ negative, totals must equal the sum of their parts, and first-order
 monotonicities (more hardware costs more; hotter leaks more) must hold.
 """
 
-import dataclasses
+import functools
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -19,6 +19,22 @@ from repro.tech import Technology
 from repro.units import KB
 
 NODES = st.sampled_from([90, 65, 45, 32, 22])
+
+@functools.lru_cache(maxsize=None)
+def _core_result(node_nm, temperature_k, threads=1):
+    """Memoized default-core evaluation; hypothesis resamples the same
+    few parameter values, so repeats are free."""
+    tech = Technology(node_nm=node_nm, temperature_k=temperature_k)
+    return Core(tech, CoreConfig(hardware_threads=threads)).result(2e9)
+
+
+@functools.lru_cache(maxsize=None)
+def _chip(n_cores):
+    return Processor(SystemConfig(
+        name=f"chip{n_cores}", node_nm=32, clock_hz=2e9, n_cores=n_cores,
+        core=CoreConfig(),
+    ))
+
 
 CORE_CONFIGS = st.builds(
     CoreConfig,
@@ -69,9 +85,8 @@ def test_core_peak_never_below_runtime(config):
 @given(threads=st.sampled_from([1, 2, 4, 8]))
 def test_more_threads_cost_more(threads):
     """Thread state (register files, buffers) grows the core."""
-    tech = Technology(node_nm=45, temperature_k=360)
-    base = Core(tech, CoreConfig(hardware_threads=1)).result(2e9)
-    multi = Core(tech, CoreConfig(hardware_threads=threads)).result(2e9)
+    base = _core_result(45, 360, threads=1)
+    multi = _core_result(45, 360, threads=threads)
     assert multi.total_area >= base.total_area * 0.999
 
 
@@ -79,10 +94,8 @@ def test_more_threads_cost_more(threads):
           suppress_health_check=[HealthCheck.too_slow])
 @given(temperature=st.sampled_from([320.0, 350.0, 380.0]))
 def test_leakage_monotone_in_temperature(temperature):
-    cold = Core(Technology(node_nm=32, temperature_k=300.0),
-                CoreConfig()).result(2e9)
-    hot = Core(Technology(node_nm=32, temperature_k=temperature),
-               CoreConfig()).result(2e9)
+    cold = _core_result(32, 300.0)
+    hot = _core_result(32, temperature)
     assert hot.total_leakage_power > cold.total_leakage_power
 
 
@@ -91,14 +104,8 @@ def test_leakage_monotone_in_temperature(temperature):
 @given(n_cores=st.sampled_from([1, 2, 4, 8]))
 def test_chip_scales_with_core_count(n_cores):
     """Chips with more cores are strictly bigger and hungrier."""
-    def build(n):
-        return Processor(SystemConfig(
-            name=f"chip{n}", node_nm=32, clock_hz=2e9, n_cores=n,
-            core=CoreConfig(),
-        ))
-
-    one = build(1)
-    many = build(n_cores)
+    one = _chip(1)
+    many = _chip(n_cores)
     assert many.area >= one.area * 0.999
     assert many.tdp >= one.tdp * 0.999
     if n_cores > 1:

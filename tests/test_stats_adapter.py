@@ -94,11 +94,8 @@ class TestSystemAdapter:
         with pytest.raises(ValueError):
             system_activity_from_stats(GOOD, n_l2_instances=0)
 
-    def test_drives_power_model_end_to_end(self):
-        from repro.chip import Processor
-        from repro.config import presets
-
-        chip = Processor(presets.niagara1())
+    def test_drives_power_model_end_to_end(self, preset_processors):
+        chip = preset_processors("niagara1")
         bundle = system_activity_from_stats(GOOD)
         power = chip.report(bundle).total_runtime_power
         assert 0 < power < chip.tdp

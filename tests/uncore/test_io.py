@@ -89,11 +89,8 @@ class TestPcie:
 
 
 class TestChipIntegration:
-    def test_niagara2_has_io_components(self):
-        from repro.chip import Processor
-        from repro.config import presets
-
-        chip = Processor(presets.niagara2())
+    def test_niagara2_has_io_components(self, preset_processors):
+        chip = preset_processors("niagara2")
         names = {c.name for c in chip.report().children}
         assert "NIU" in names
         assert "PCIe" in names
