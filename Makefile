@@ -8,6 +8,8 @@ test:
 
 verify: test
 	$(PYTHON) benchmarks/bench_engine.py --smoke
+	$(PYTHON) benchmarks/bench_single_eval.py --smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_engine.py
+	$(PYTHON) benchmarks/bench_single_eval.py

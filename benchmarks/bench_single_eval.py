@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Benchmark the single-evaluation fast path: exact vs cold vs warm.
+
+For each validation preset this times three full ``Processor.report()``
+evaluations:
+
+1. **exact** — ``repro.fastpath.disabled()``: no memos, exhaustive
+   repeater grids, unpruned organization search (the pre-fast-path cost),
+2. **cold** — fast path on but every memo cleared first (the cost of the
+   first chip a process ever models),
+3. **warm** — fast path on with memos populated (every later chip at the
+   same tech node).
+
+The exact and fast-path reports are asserted *numerically identical* —
+exact equality on every field of every ``ComponentResult`` — and the
+cold speedup is asserted against a floor, so the fast path can never
+silently regress. Results land in ``BENCH_single_eval.json`` alongside a
+per-component model-build timing breakdown.
+
+Run::
+
+    python benchmarks/bench_single_eval.py            # all four presets
+    python benchmarks/bench_single_eval.py --smoke    # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import fastpath
+from repro.chip import Processor, timing_breakdown
+from repro.config import presets
+
+#: Required cold-vs-exact speedup. The acceptance bar is 5x; smoke mode
+#: relaxes it for noisy shared CI runners.
+SPEEDUP_FLOOR = 5.0
+SPEEDUP_FLOOR_SMOKE = 3.0
+
+
+def bench_preset(name: str) -> dict:
+    """Time exact/cold/warm evaluation of one preset; verify parity."""
+    build = presets.VALIDATION_PRESETS[name]
+
+    with fastpath.disabled():
+        start = time.perf_counter()
+        exact_report = Processor(build()).report()
+        t_exact = time.perf_counter() - start
+
+    fastpath.clear_all()
+    start = time.perf_counter()
+    cold_report = Processor(build()).report()
+    t_cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_report = Processor(build()).report()
+    t_warm = time.perf_counter() - start
+
+    identical = exact_report == cold_report == warm_report
+    breakdown = timing_breakdown(Processor(build()))  # warm-path shares
+    return {
+        "preset": name,
+        "exact_s": t_exact,
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "cold_speedup": t_exact / t_cold,
+        "warm_speedup": t_exact / t_warm,
+        "identical": identical,
+        "component_breakdown_s": breakdown,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="single-chip evaluation fast-path benchmark",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: one preset, relaxed floor")
+    parser.add_argument("--output", default="BENCH_single_eval.json",
+                        metavar="PATH", help="result JSON path")
+    args = parser.parse_args(argv)
+
+    names = (("niagara1",) if args.smoke
+             else tuple(presets.VALIDATION_PRESETS))
+    floor = SPEEDUP_FLOOR_SMOKE if args.smoke else SPEEDUP_FLOOR
+
+    results = []
+    failed = False
+    for name in names:
+        entry = bench_preset(name)
+        results.append(entry)
+        print(f"{name:<12} exact={entry['exact_s']:6.2f}s "
+              f"cold={entry['cold_s']:6.3f}s warm={entry['warm_s']:6.3f}s "
+              f"speedup={entry['cold_speedup']:5.1f}x "
+              f"identical={entry['identical']}")
+        if not entry["identical"]:
+            print(f"FAIL: {name} fast-path report differs from exact",
+                  file=sys.stderr)
+            failed = True
+        if entry["cold_speedup"] < floor:
+            print(f"FAIL: {name} cold speedup "
+                  f"{entry['cold_speedup']:.1f}x below {floor:.0f}x floor",
+                  file=sys.stderr)
+            failed = True
+
+    payload = {
+        "benchmark": "single_eval",
+        "smoke": args.smoke,
+        "speedup_floor": floor,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "memo_stats": fastpath.stats(),
+        "presets": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failed:
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import fastpath
 from repro.array.bank import Bank
 from repro.array.dff_array import DffArrayModel
 from repro.array.organization import (
@@ -154,6 +155,14 @@ def _build_dff_array(tech: Technology, spec: ArraySpec) -> SramArray:
     )
 
 
+#: Process-wide memo of built arrays, keyed by the content hash of
+#: ``(tech, spec, weights)``. Identical specs recur constantly — per-core
+#: arrays replicated across a chip, tag+data pairs of multi-instance
+#: cache levels, and sweep points sharing a tech node — and
+#: :class:`SramArray` is immutable, so sharing one instance is safe.
+_BUILD_MEMO = fastpath.Memo("build_array", max_entries=2048)
+
+
 def build_array(
     tech: Technology,
     spec: ArraySpec,
@@ -161,9 +170,26 @@ def build_array(
 ) -> SramArray:
     """Build the best implementation of ``spec`` at ``tech``.
 
-    For SRAM arrays this runs the full organization search; for DFF arrays
-    the synthesized-register model is used directly.
+    For SRAM arrays this runs the internal organization search; for DFF
+    arrays the synthesized-register model is used directly. Results are
+    memoized process-wide on the content of the inputs (same hashing
+    discipline as :func:`repro.engine.cache.config_key`); disable via
+    :func:`repro.fastpath.disabled`.
     """
+    weights = weights or OptimizationWeights()
+    key = fastpath.stable_hash(
+        {"tech": tech, "spec": spec, "weights": weights}
+    )
+    return _BUILD_MEMO.get_or_compute(
+        key, lambda: _build_array_uncached(tech, spec, weights)
+    )
+
+
+def _build_array_uncached(
+    tech: Technology,
+    spec: ArraySpec,
+    weights: OptimizationWeights,
+) -> SramArray:
     if spec.cell_type is CellType.DFF:
         return _build_dff_array(tech, spec)
     banks = search_organizations(tech, spec, weights)

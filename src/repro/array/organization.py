@@ -11,9 +11,11 @@ paper's headline usability claims.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
+from repro import fastpath
 from repro.array.spec import ArraySpec
 from repro.tech import Technology
 
@@ -120,16 +122,142 @@ def candidate_organizations(spec: ArraySpec) -> Iterator[ArrayOrganization]:
                     yield org
 
 
+#: Below this many candidates the prune is skipped — full evaluation is
+#: already cheap and the rank statistics would be too thin to trust.
+_PRUNE_MIN_CANDIDATES = 48
+
+#: Survivors kept by the combined (equal-weight, proxy-normalized)
+#: objective. Across the validation presets the exact winner's combined
+#: proxy rank never exceeds 26; 40 leaves a wide margin.
+_PRUNE_KEEP_COMBINED = 40
+
+#: Survivors kept per metric axis, so the candidate that anchors each
+#: metric's normalization term survives. Measured worst-case proxy rank
+#: of the true per-metric optimum on the validation presets: delay 9,
+#: energy 23, leakage 1, area 1.
+_PRUNE_KEEP_PER_METRIC = (16, 32, 12, 12)
+
+
+def _proxy_metrics(
+    tech: Technology, spec: ArraySpec, org: ArrayOrganization,
+) -> tuple[float, float, float, float]:
+    """Cheap analytic (delay, energy, leakage, area) bounds for one tiling.
+
+    First-order RC/geometry terms only — a few scalar ops per candidate,
+    no :class:`~repro.array.bank.Bank` or subarray construction. Used
+    solely to *rank* candidates for pruning; the survivors are then
+    evaluated with the full circuit model, so these bounds never leak
+    into reported numbers.
+    """
+    from repro.array.spec import CellType
+    from repro.circuit import transistor
+    from repro.circuit.repeater import RepeatedWire
+    from repro.tech.wire import WireType
+
+    rows = org.rows_per_subarray(spec)
+    cols = org.cols_per_subarray(spec)
+    n_sub = org.ndwl * org.ndbl
+    port_factor = spec.ports.area_cost_factor
+    if spec.cell_type is CellType.EDRAM:
+        cell_w = tech.edram_cell_width * port_factor
+        cell_h = tech.edram_cell_height * port_factor
+    else:
+        cell_w = tech.sram_cell_width * port_factor
+        cell_h = tech.sram_cell_height * port_factor
+    block_w = cols * cell_w
+    block_h = rows * cell_h
+    bank_w = org.ndwl * block_w
+    bank_h = org.ndbl * block_h
+
+    wire = tech.wire_local
+    drain = transistor.drain_capacitance(tech, tech.min_width)
+    bitline_cap = rows * drain + wire.capacitance_per_length * block_h
+    swing = max(0.08, 0.125 * tech.vdd)
+    cell_current = tech.sram_device.i_on * tech.min_width
+    # The inter-subarray H-tree rides the memoized repeater solution, so
+    # its velocity/energy figures are one dictionary lookup each.
+    htree = RepeatedWire(tech, WireType.SEMI_GLOBAL)
+    htree_length = 0.25 * (bank_w + bank_h)
+
+    delay = (
+        math.log2(max(2, rows)) * tech.fo4_delay              # decoder
+        + bitline_cap * swing / cell_current                  # discharge
+        + 0.38 * wire.resistance_per_length * block_h * bitline_cap
+        + 0.38 * wire.rc_per_length_squared * block_w**2      # wordline
+        + 2.0 * htree.delay_per_length * htree_length         # H-tree
+    )
+    bits = 0.5 * (spec.address_bits + spec.routed_bits)
+    energy = (
+        org.ndwl * cols * bitline_cap * tech.vdd * swing      # bitlines
+        + bits * htree.energy_per_length * htree_length       # H-tree
+    )
+    # Cell leakage is organization-invariant (total cell count is fixed);
+    # rank on the peripheral strips and H-tree repeaters instead.
+    leakage = (
+        n_sub * (rows + 2.0 * cols)
+        + spec.routed_bits * htree.leakage_power_per_length * htree_length
+        / max(1e-30, tech.subthreshold_leakage_power(tech.min_width))
+    )
+    area = bank_w * bank_h + n_sub * (
+        rows * 6.0 * tech.feature_size * cell_h
+        + cols * 14.0 * tech.feature_size * cell_w
+    )
+    return delay, energy, leakage, area
+
+
+def _prune_candidates(
+    tech: Technology,
+    spec: ArraySpec,
+    candidates: list[ArrayOrganization],
+) -> list[ArrayOrganization]:
+    """Keep candidates ranked near the top of any metric's proxy bound.
+
+    The kept set is weight-independent (the union of the per-metric
+    front-runners), so differently-weighted searches over the same spec
+    evaluate the same candidate pool and stay mutually consistent.
+    Original candidate order is preserved.
+    """
+    scores = [_proxy_metrics(tech, spec, org) for org in candidates]
+    keep: set[int] = set()
+    mins = [
+        max(min(score[axis] for score in scores), 1e-300)
+        for axis in range(4)
+    ]
+    combined = [
+        sum(score[axis] / mins[axis] for axis in range(4))
+        for score in scores
+    ]
+    by_combined = sorted(range(len(candidates)), key=lambda k: combined[k])
+    keep.update(by_combined[:_PRUNE_KEEP_COMBINED])
+    for axis, keep_n in enumerate(_PRUNE_KEEP_PER_METRIC):
+        ranked = sorted(range(len(candidates)), key=lambda k: scores[k][axis])
+        keep.update(ranked[:keep_n])
+    return [org for k, org in enumerate(candidates) if k in keep]
+
+
 def search_organizations(
     tech: Technology,
     spec: ArraySpec,
     weights: OptimizationWeights | None = None,
+    *,
+    exact: bool | None = None,
 ) -> list["Bank"]:
-    """Evaluate all candidate organizations, best first.
+    """Evaluate candidate organizations, best first.
 
     Candidates that meet the spec's timing targets sort before candidates
     that do not; within each group the weighted normalized objective ranks
     them.
+
+    Args:
+        tech: Technology operating point.
+        spec: The array to tile.
+        weights: Ranking objective weights (all-equal by default).
+        exact: ``True`` evaluates every feasible tiling with the full
+            circuit model; ``False`` rank-prunes the field with cheap
+            analytic bounds first and fully evaluates only the
+            front-runners. ``None`` (default) follows the global
+            :mod:`repro.fastpath` switch — the escape hatch for callers
+            that need the exhaustively-ranked list.
 
     Raises:
         ValueError: If no organization tiles the spec at all.
@@ -137,9 +265,14 @@ def search_organizations(
     from repro.array.bank import Bank
 
     weights = weights or OptimizationWeights()
+    candidates = list(candidate_organizations(spec))
+    if exact is None:
+        exact = not fastpath.enabled()
+    if not exact and len(candidates) > _PRUNE_MIN_CANDIDATES:
+        candidates = _prune_candidates(tech, spec, candidates)
     banks = [
         Bank(tech=tech, spec=spec, organization=org)
-        for org in candidate_organizations(spec)
+        for org in candidates
     ]
     if not banks:
         raise ValueError(

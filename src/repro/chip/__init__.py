@@ -3,6 +3,7 @@
 from repro.chip.results import ComponentResult
 from repro.chip.processor import Processor
 from repro.chip.report import format_report
+from repro.chip.profiling import format_timing_breakdown, timing_breakdown
 from repro.chip.export import (
     compare_results,
     format_csv,
@@ -14,6 +15,8 @@ __all__ = [
     "ComponentResult",
     "Processor",
     "format_report",
+    "format_timing_breakdown",
+    "timing_breakdown",
     "compare_results",
     "format_csv",
     "result_to_dict",

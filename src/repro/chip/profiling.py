@@ -1,0 +1,74 @@
+"""Wall-clock profiling of chip model construction.
+
+:func:`timing_breakdown` measures where one evaluation's time goes by
+building each major component of a :class:`~repro.chip.Processor` in
+report order and timing the build. Because every model level caches its
+structures, the measurement is also a build: running it on a fresh
+processor yields the cold cost per component, running it again yields
+the (near-zero) warm cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chip.processor import Processor
+
+
+def timing_breakdown(processor: Processor) -> dict[str, float]:
+    """Per-component model-build wall time for one processor (seconds).
+
+    Builds the component models in the same order :meth:`Processor.report`
+    does and returns an ordered mapping of component label to the wall
+    time its construction took, with a final ``"report assembly"`` entry
+    covering the remaining result-tree work. The sum approximates one
+    full cold :meth:`~repro.chip.Processor.report` call.
+    """
+    clock = processor.config.clock_hz
+    times: dict[str, float] = {}
+
+    def timed(label: str, build) -> None:
+        start = time.perf_counter()
+        build()
+        times[label] = time.perf_counter() - start
+
+    core = processor.core
+    timed("core.ifu", lambda: core.ifu.result(clock))
+    timed("core.mmu", lambda: core.mmu.result(clock))
+    timed("core.exu", lambda: core.exu.result(clock))
+    timed("core.lsu", lambda: core.lsu.result(clock))
+    if core.renaming is not None:
+        timed("core.renaming", lambda: core.renaming.result(clock))
+    if core.scheduler is not None:
+        timed("core.scheduler", lambda: core.scheduler.result(clock))
+    timed("core.other", lambda: core.result(clock))
+    if processor.little_core is not None:
+        timed("little_core",
+              lambda: processor.little_core.result(clock))
+    if processor.l2 is not None:
+        timed("L2", lambda: processor.l2.result(clock))
+    if processor.l3 is not None:
+        timed("L3", lambda: processor.l3.result(clock))
+    timed("NoC", lambda: processor.noc.result(clock))
+    timed("memory_controller",
+          lambda: processor.memory_controller.result(clock))
+    if processor.niu is not None:
+        timed("NIU", lambda: processor.niu.result(clock))
+    if processor.pcie is not None:
+        timed("PCIe", lambda: processor.pcie.result(clock))
+    timed("clock_network",
+          lambda: processor.clock_network.result(clock))
+    timed("report assembly", lambda: processor.report())
+    return times
+
+
+def format_timing_breakdown(times: dict[str, float]) -> str:
+    """Render :func:`timing_breakdown` output as an aligned table."""
+    total = sum(times.values())
+    width = max(len(name) for name in times)
+    lines = [f"{'component':<{width}} {'build':>10} {'share':>7}"]
+    for name, seconds in times.items():
+        share = seconds / total if total else 0.0
+        lines.append(f"{name:<{width}} {seconds * 1e3:>8.1f}ms {share:>6.1%}")
+    lines.append(f"{'total':<{width}} {total * 1e3:>8.1f}ms {1:>6.0%}")
+    return "\n".join(lines)

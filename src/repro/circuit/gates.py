@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 from functools import cached_property
+from typing import NamedTuple
 
+from repro import fastpath
 from repro.circuit import transistor
 from repro.tech import Technology
 
@@ -40,6 +42,26 @@ class GateKind(str, Enum):
     INV = "inv"
     NAND = "nand"
     NOR = "nor"
+
+
+class GateConstants(NamedTuple):
+    """The electrical/physical constants of one sized gate.
+
+    Pure function of ``(tech, kind, fanin, size)``; memoized process-wide
+    because hot loops (repeater sizing, array searches) instantiate the
+    same handful of gate designs thousands of times per chip.
+    """
+
+    input_capacitance: float
+    self_capacitance: float
+    drive_resistance: float
+    leakage_power: float
+    area: float
+
+
+#: Process-wide memo of :class:`GateConstants`, keyed by the (frozen,
+#: hashable) :class:`Gate` value itself.
+_CONSTANTS_MEMO = fastpath.Memo("gate_constants", max_entries=8192)
 
 
 @dataclass(frozen=True)
@@ -97,15 +119,45 @@ class Gate:
     # -- electrical ---------------------------------------------------------
 
     @cached_property
+    def constants(self) -> GateConstants:
+        """The gate's constants, via the process-wide memo.
+
+        Identically sized gates share one computation per process; with
+        the fast path disabled the constants are recomputed in place
+        (same arithmetic, no sharing).
+        """
+        return _CONSTANTS_MEMO.get_or_compute(self, self._compute_constants)
+
+    def _compute_constants(self) -> GateConstants:
+        return GateConstants(
+            input_capacitance=self._compute_input_capacitance(),
+            self_capacitance=self._compute_self_capacitance(),
+            drive_resistance=self._compute_drive_resistance(),
+            leakage_power=self._compute_leakage_power(),
+            area=self._compute_area(),
+        )
+
+    @property
     def input_capacitance(self) -> float:
         """Capacitance presented to one input pin (F)."""
+        return self.constants.input_capacitance
+
+    @property
+    def self_capacitance(self) -> float:
+        """Parasitic output (drain) capacitance (F)."""
+        return self.constants.self_capacitance
+
+    @property
+    def drive_resistance(self) -> float:
+        """Effective worst-case output resistance (ohm)."""
+        return self.constants.drive_resistance
+
+    def _compute_input_capacitance(self) -> float:
         return transistor.gate_capacitance(
             self.tech, self._nmos_width
         ) + transistor.gate_capacitance(self.tech, self._pmos_width)
 
-    @cached_property
-    def self_capacitance(self) -> float:
-        """Parasitic output (drain) capacitance (F)."""
+    def _compute_self_capacitance(self) -> float:
         # One NMOS and one PMOS drain hang on the output per input leg; in a
         # multi-input gate roughly half the legs' junctions sit on the
         # output node (the rest are internal stack nodes).
@@ -116,9 +168,7 @@ class Gate:
             return per_leg
         return per_leg * self.fanin / 2.0
 
-    @cached_property
-    def drive_resistance(self) -> float:
-        """Effective worst-case output resistance (ohm)."""
+    def _compute_drive_resistance(self) -> float:
         r_n = transistor.on_resistance(self.tech, self._nmos_width)
         if self.kind is GateKind.NAND:
             r_n *= self.fanin  # series stack
@@ -142,7 +192,7 @@ class Gate:
         )
         return (1.0 + SHORT_CIRCUIT_FRACTION) * c_total * vdd * vdd
 
-    @cached_property
+    @property
     def leakage_power(self) -> float:
         """Average subthreshold + gate leakage of the gate (W).
 
@@ -150,6 +200,9 @@ class Gate:
         the two networks is off; series stacks leak less (stacking effect,
         ~10x per extra series device captured as /fanin here).
         """
+        return self.constants.leakage_power
+
+    def _compute_leakage_power(self) -> float:
         sub_n = transistor.subthreshold_leakage_power(
             self.tech, self._nmos_width
         )
@@ -166,9 +219,12 @@ class Gate:
 
     # -- physical -----------------------------------------------------------
 
-    @cached_property
+    @property
     def area(self) -> float:
         """Standard-cell footprint (m^2)."""
+        return self.constants.area
+
+    def _compute_area(self) -> float:
         height = _CELL_TRACK_HEIGHT * self.tech.wire_local.pitch
         pitch = _CONTACTED_PITCH_F * self.tech.feature_size
         # Wide (sized-up) devices fold into multiple fingers; up to 2x drive

@@ -14,9 +14,27 @@ import math
 from dataclasses import dataclass
 from functools import cached_property
 
-from repro.circuit.gates import Gate, GateKind
+from repro import fastpath
+from repro.circuit.gates import DELAY_DERATE, Gate, GateKind
 from repro.tech import Technology
 from repro.tech.wire import WireParameters, WireType
+
+#: The candidate grid: repeater sizes in min-inverter multiples and
+#: repeater spacings in meters, both log2-spaced.
+_SIZES = tuple(2.0**k for k in range(0, 10))
+_SPACINGS = tuple(10e-6 * 2.0**k for k in range(0, 10))  # 10um .. 5mm
+
+#: Half-width (in log2 grid steps) of the refinement window around the
+#: closed-form Bakoglu seed. The objective is separable and convex in the
+#: log of each axis, so the grid optimum sits at a point bracketing the
+#: continuous optimum; +-3 steps is ample slack on top of that guarantee.
+_SEED_WINDOW = 3
+
+#: Process-wide memo of solved design points. A chip model solves the
+#: same few (tech, plane, penalty) combinations hundreds of times (every
+#: candidate bank H-tree, every NoC link); the solution depends only on
+#: the key.
+_OPTIMUM_MEMO = fastpath.Memo("repeater_optimum", max_entries=1024)
 
 
 @dataclass(frozen=True)
@@ -52,36 +70,110 @@ class RepeatedWire:
         wire_term = r_w * (0.38 * c_w + 0.69 * gate.input_capacitance)
         return driver + wire_term
 
+    def closed_form_optimum(self) -> tuple[float, float]:
+        """Continuous (size, spacing) minimizing delay — Bakoglu's formulas.
+
+        The per-length delay is a separable posynomial
+        ``f(s, L) = A/L + B/s + C*L + E*s`` (driver parasitics, driver into
+        wire cap, wire self-RC, wire into next gate), so the unconstrained
+        optimum has the classic closed form ``s* = sqrt(B/E)``,
+        ``L* = sqrt(A/C)``. It seeds the grid refinement in
+        :attr:`_optimum`.
+        """
+        unit = Gate(self.tech, GateKind.INV, size=1.0).constants
+        r_drive = DELAY_DERATE * 0.69 * unit.drive_resistance
+        c_w = self.wire.capacitance_per_length
+        r_w = self.wire.resistance_per_length
+        coeff_a = r_drive * (
+            unit.self_capacitance + unit.input_capacitance
+        )
+        coeff_b = r_drive * c_w
+        coeff_c = 0.38 * r_w * c_w
+        coeff_e = 0.69 * r_w * unit.input_capacitance
+        size = math.sqrt(coeff_b / coeff_e)
+        spacing = math.sqrt(coeff_a / coeff_c)
+        return size, spacing
+
+    def _grid_window(self) -> tuple[range, range]:
+        """Grid index ranges to sweep: seeded window, or the full grid.
+
+        On the fast path the sweep is a local refinement around the
+        closed-form seed. Because the objective is separable and convex in
+        the log of each axis, the grid optimum is guaranteed to bracket
+        the continuous one, so the window always contains it; the exact
+        path sweeps everything anyway.
+        """
+        if not fastpath.enabled():
+            return range(len(_SIZES)), range(len(_SPACINGS))
+        try:
+            seed_size, seed_spacing = self.closed_form_optimum()
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return range(len(_SIZES)), range(len(_SPACINGS))
+        if not (math.isfinite(seed_size) and math.isfinite(seed_spacing)
+                and seed_size > 0 and seed_spacing > 0):
+            return range(len(_SIZES)), range(len(_SPACINGS))
+
+        def window(seed: float, grid: tuple[float, ...]) -> range:
+            index = round(math.log2(seed / grid[0]))
+            index = min(max(index, 0), len(grid) - 1)
+            return range(max(0, index - _SEED_WINDOW),
+                         min(len(grid), index + _SEED_WINDOW + 1))
+
+        return window(seed_size, _SIZES), window(seed_spacing, _SPACINGS)
+
     @cached_property
     def _optimum(self) -> tuple[float, float, float]:
-        """(size, spacing, delay_per_length) at the chosen design point."""
-        best: tuple[float, float, float] | None = None
-        # Log-spaced sweep is robust across nodes and planes.
-        sizes = [2.0**k for k in range(0, 10)]
-        spacings = [10e-6 * 2.0**k for k in range(0, 10)]  # 10um .. 5mm
-        for size in sizes:
-            for spacing in spacings:
-                delay_per_length = self._segment_delay(size, spacing) / spacing
-                if best is None or delay_per_length < best[2]:
-                    best = (size, spacing, delay_per_length)
-        assert best is not None
+        """(size, spacing, delay_per_length) at the chosen design point.
+
+        Served from a process-wide memo keyed on
+        ``(tech, wire_type, delay_penalty)``; on a miss, a Bakoglu-seeded
+        local refinement of the log-spaced grid replaces the historical
+        exhaustive sweep (identical result; the objective is separable
+        and convex per log-axis).
+        """
+        key = (self.tech, self.wire_type, self.delay_penalty)
+        return _OPTIMUM_MEMO.get_or_compute(key, self._solve_optimum)
+
+    def _solve_optimum(self) -> tuple[float, float, float]:
+        size_window, spacing_window = self._grid_window()
+        # Evaluated delay-per-length by grid index; the energy back-off
+        # pass below extends and reuses this instead of re-solving.
+        evaluated: dict[tuple[int, int], float] = {}
+
+        def delay_per_length(i: int, j: int) -> float:
+            try:
+                return evaluated[(i, j)]
+            except KeyError:
+                value = self._segment_delay(
+                    _SIZES[i], _SPACINGS[j]
+                ) / _SPACINGS[j]
+                evaluated[(i, j)] = value
+                return value
+
+        # Ranking by (value, i, j) reproduces the strict-improvement,
+        # row-major tie-breaking of a full sweep regardless of the window.
+        best_value, best_i, best_j = min(
+            (delay_per_length(i, j), i, j)
+            for i in size_window for j in spacing_window
+        )
+        best = (_SIZES[best_i], _SPACINGS[best_j], best_value)
         if self.delay_penalty == 1.0:
             return best
         # Energy back-off: among design points within the delay budget,
-        # pick the one with the lowest repeater capacitance per length.
-        budget = best[2] * self.delay_penalty
-        cheapest = best
-        cheapest_cost = math.inf
-        for size in sizes:
-            for spacing in spacings:
-                delay_per_length = self._segment_delay(size, spacing) / spacing
-                if delay_per_length > budget:
-                    continue
-                cost = size / spacing  # repeater width per meter
-                if cost < cheapest_cost:
-                    cheapest_cost = cost
-                    cheapest = (size, spacing, delay_per_length)
-        return cheapest
+        # pick the one with the lowest repeater capacitance per length
+        # (width per meter). Needs the whole grid: the cheapest feasible
+        # point usually sits far from the delay optimum.
+        budget = best_value * self.delay_penalty
+        feasible = [
+            (_SIZES[i] / _SPACINGS[j], i, j)
+            for i in range(len(_SIZES))
+            for j in range(len(_SPACINGS))
+            if delay_per_length(i, j) <= budget
+        ]
+        if not feasible:
+            return best
+        _, i, j = min(feasible)
+        return (_SIZES[i], _SPACINGS[j], evaluated[(i, j)])
 
     @property
     def repeater_size(self) -> float:

@@ -46,9 +46,20 @@ def _resolve_config(source: str):
 def _cmd_report(args: argparse.Namespace) -> int:
     config = _resolve_config(args.config)
     processor = Processor(config)
-    print(format_report(
-        processor.report(), max_depth=args.depth, include_runtime=False,
-    ))
+    if args.timing_breakdown:
+        from repro.chip import format_timing_breakdown, timing_breakdown
+
+        times = timing_breakdown(processor)
+        print(format_report(
+            processor.report(), max_depth=args.depth, include_runtime=False,
+        ))
+        print()
+        print("Model-build wall time by component:")
+        print(format_timing_breakdown(times))
+    else:
+        print(format_report(
+            processor.report(), max_depth=args.depth, include_runtime=False,
+        ))
     print()
     print(f"TDP  = {processor.tdp:.1f} W")
     print(f"Area = {processor.area * 1e6:.1f} mm^2")
@@ -182,6 +193,10 @@ def main(argv: list[str] | None = None) -> int:
     report = sub.add_parser("report", help="model a chip, print breakdown")
     report.add_argument("config", help="preset name or config JSON path")
     report.add_argument("--depth", type=int, default=2)
+    report.add_argument(
+        "--timing-breakdown", action="store_true",
+        help="also print per-component model-build wall time",
+    )
     report.set_defaults(func=_cmd_report)
 
     validate = sub.add_parser("validate", help="published-vs-modeled tables")

@@ -15,11 +15,11 @@ computed, which doubles as crash durability for long sweeps.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 from collections import OrderedDict
 from pathlib import Path
 
+from repro import fastpath
 from repro.config.loader import system_config_to_dict
 from repro.config.schema import SystemConfig
 from repro.engine.record import EvalRecord
@@ -43,10 +43,7 @@ def config_key(config: SystemConfig, workload: Workload | None = None) -> str:
             dataclasses.asdict(workload) if workload is not None else None
         ),
     }
-    blob = json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), default=str,
-    )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return fastpath.stable_hash(payload)
 
 
 class EvalCache:

@@ -1,0 +1,158 @@
+"""Process-wide memoization fast path for single-chip evaluation.
+
+Profiling one cold :meth:`~repro.chip.processor.Processor.report` shows
+~95% of the work is recomputation of pure functions of immutable inputs:
+the repeated-wire optimizer re-solves the same ``(tech, plane, penalty)``
+design point hundreds of times per chip, every sized :class:`Gate`
+re-derives the same RC constants, and structurally identical arrays are
+rebuilt from scratch. This module provides the shared machinery those
+layers use to remember their answers:
+
+* :class:`Memo` — a small bounded (LRU) process-wide cache with hit/miss
+  counters, automatically registered for :func:`clear_all` / :func:`stats`.
+* :func:`enabled` / :func:`disabled` — a global switch. Inside a
+  ``with fastpath.disabled():`` block every memo is bypassed *and* the
+  search heuristics that ride on the fast path (repeater-grid windowing,
+  organization-search pruning) fall back to their exhaustive exact forms.
+  The parity suite uses this to assert that memoized and unmemoized
+  evaluations produce numerically identical reports.
+* :func:`stable_hash` — the deterministic content-hash used by
+  :func:`repro.engine.cache.config_key` and the ``build_array`` memo, so
+  every cache layer keys on *content*, never object identity.
+
+Memos are per-process. Worker processes forked by ``repro.engine`` each
+warm their own copy, which is exactly what makes repeated points inside
+one worker cheap without any cross-process coordination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+_enabled: bool = True
+
+#: Every Memo ever constructed, for clear_all()/stats().
+_REGISTRY: list["Memo"] = []
+
+
+def enabled() -> bool:
+    """Whether the fast path (memos + pruned searches) is active."""
+    return _enabled
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager: run the enclosed block on the exact, unmemoized path.
+
+    All :class:`Memo` lookups are bypassed (values are recomputed and not
+    stored) and fast-path search heuristics revert to exhaustive sweeps.
+    Existing memo contents are left untouched and become live again on
+    exit.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+class Memo:
+    """A bounded process-wide LRU memo table.
+
+    Args:
+        name: Label used in :func:`stats` output.
+        max_entries: Capacity; least-recently-used entries are evicted.
+
+    Attributes:
+        hits: Successful lookups.
+        misses: Lookups that had to compute.
+    """
+
+    def __init__(self, name: str, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        _REGISTRY.append(self)
+
+    def get_or_compute(self, key: Any, compute: Callable[[], T]) -> T:
+        """Return the memoized value for ``key``, computing on a miss.
+
+        When the fast path is :func:`disabled`, always computes and never
+        touches the table, so the exact path has zero memo coupling.
+        """
+        if not _enabled:
+            return compute()
+        try:
+            value = self._entries[key]
+        except KeyError:
+            pass
+        else:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def clear_all() -> None:
+    """Empty every registered memo (cold-start state, e.g. for benchmarks)."""
+    for memo in _REGISTRY:
+        memo.clear()
+
+
+def stats() -> dict[str, dict[str, int]]:
+    """Per-memo hit/miss/size counters, keyed by memo name."""
+    return {
+        memo.name: {
+            "hits": memo.hits,
+            "misses": memo.misses,
+            "entries": len(memo),
+        }
+        for memo in _REGISTRY
+    }
+
+
+def stable_hash(payload: Any) -> str:
+    """Deterministic sha256 over the canonical JSON form of ``payload``.
+
+    Dataclasses are flattened with :func:`dataclasses.asdict`; anything
+    JSON cannot represent falls back to ``str``. Two structurally equal
+    payloads always hash identically regardless of how they were built.
+    """
+    def canonical(obj: Any) -> Any:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return dataclasses.asdict(obj)
+        return obj
+
+    blob = json.dumps(
+        canonical(payload), sort_keys=True, separators=(",", ":"),
+        default=lambda o: canonical(o) if dataclasses.is_dataclass(o)
+        else str(o),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

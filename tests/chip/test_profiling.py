@@ -1,0 +1,27 @@
+"""Tests for the model-build timing breakdown."""
+
+from repro.chip import Processor, format_timing_breakdown, timing_breakdown
+from repro.config import presets
+
+from tests.conftest import make_tiny_config
+
+
+class TestTimingBreakdown:
+    def test_tiny_chip_components(self):
+        times = timing_breakdown(Processor(make_tiny_config()))
+        assert {"core.ifu", "core.exu", "core.lsu", "NoC",
+                "memory_controller", "clock_network",
+                "report assembly"} <= set(times)
+        assert "L2" not in times  # tiny chip has no L2
+        assert all(t >= 0 for t in times.values())
+
+    def test_preset_covers_caches(self, preset_processors):
+        times = timing_breakdown(preset_processors("niagara1"))
+        assert "L2" in times
+
+    def test_table_renders(self):
+        times = timing_breakdown(Processor(make_tiny_config()))
+        text = format_timing_breakdown(times)
+        assert "component" in text
+        assert "total" in text
+        assert "core.lsu" in text

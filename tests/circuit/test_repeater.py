@@ -34,6 +34,30 @@ class TestOptimization:
         with pytest.raises(ValueError):
             RepeatedWire(TECH, WireType.GLOBAL, delay_penalty=0.9)
 
+    def test_closed_form_seed_brackets_grid_choice(self):
+        """The Bakoglu closed form lands within one log2 step of the
+        grid's chosen design point (the grid is log2-spaced, so the
+        snapped optimum can sit at most one step away per axis)."""
+        for wire_type in (WireType.SEMI_GLOBAL, WireType.GLOBAL):
+            wire = RepeatedWire(TECH, wire_type)
+            seed_size, seed_spacing = wire.closed_form_optimum()
+            assert wire.repeater_size / 2 <= seed_size <= (
+                wire.repeater_size * 2
+            )
+            assert wire.repeater_spacing / 2 <= seed_spacing <= (
+                wire.repeater_spacing * 2
+            )
+
+    def test_optimum_memoized_across_instances(self):
+        from repro.circuit.repeater import _OPTIMUM_MEMO
+
+        _OPTIMUM_MEMO.clear()
+        first = RepeatedWire(TECH, WireType.GLOBAL)._optimum
+        misses = _OPTIMUM_MEMO.misses
+        second = RepeatedWire(TECH, WireType.GLOBAL)._optimum
+        assert second == first
+        assert _OPTIMUM_MEMO.misses == misses  # served from the memo
+
 
 class TestCosts:
     def test_energy_per_mm_magnitude(self):

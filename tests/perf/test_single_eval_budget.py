@@ -1,0 +1,61 @@
+"""Wall-clock budget guard for the single-evaluation fast path.
+
+A cold (empty-memo) ``Processor.report()`` on the heaviest validation
+preset must stay well below the pre-fast-path cost (~1.5-3 s per chip).
+The budgets are deliberately loose — several times the expected time on
+a developer machine — so only a real regression (a memo silently
+bypassed, the organization prune disabled) trips them, not CI noise.
+"""
+
+import time
+
+from repro import fastpath
+from repro.chip import Processor
+from repro.config import presets
+
+#: Upper bound on one cold fast-path evaluation (seconds). Measured
+#: ~0.1-0.25 s; the pre-fast-path cost is ~1.5-3 s.
+COLD_EVAL_BUDGET_S = 1.0
+
+#: A cold fast-path evaluation must beat the exact path by at least this
+#: factor (the acceptance bar is 5x; measured 11-15x).
+MIN_COLD_SPEEDUP = 3.0
+
+
+def _time_report(config) -> float:
+    start = time.perf_counter()
+    Processor(config).report()
+    return time.perf_counter() - start
+
+
+def test_cold_eval_within_budget():
+    times = {}
+    for name in presets.VALIDATION_PRESETS:
+        fastpath.clear_all()
+        times[name] = _time_report(presets.VALIDATION_PRESETS[name]())
+    worst = max(times, key=times.get)
+    assert times[worst] < COLD_EVAL_BUDGET_S, (
+        f"cold fast-path eval of {worst} took {times[worst]:.2f}s "
+        f"(budget {COLD_EVAL_BUDGET_S}s); memo stats: {fastpath.stats()}"
+    )
+
+
+def test_cold_eval_beats_exact_path():
+    config = presets.VALIDATION_PRESETS["niagara1"]
+    with fastpath.disabled():
+        t_exact = _time_report(config())
+    fastpath.clear_all()
+    t_cold = _time_report(config())
+    assert t_cold * MIN_COLD_SPEEDUP < t_exact, (
+        f"cold fast-path eval ({t_cold:.2f}s) is not {MIN_COLD_SPEEDUP}x "
+        f"faster than the exact path ({t_exact:.2f}s)"
+    )
+
+
+def test_warm_eval_near_free():
+    config = presets.VALIDATION_PRESETS["niagara1"]
+    fastpath.clear_all()
+    t_cold = _time_report(config())
+    t_warm = _time_report(config())
+    assert t_warm < t_cold
+    assert t_warm < 0.25  # measured ~3 ms

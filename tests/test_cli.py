@@ -44,6 +44,14 @@ class TestReport:
             main(["report", str(path)])
         assert str(path) in str(excinfo.value)
 
+    def test_timing_breakdown(self, capsys):
+        assert main(["report", "niagara1", "--depth", "1",
+                     "--timing-breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Model-build wall time" in out
+        assert "core.ifu" in out
+        assert "report assembly" in out
+
     def test_missing_command_fails(self):
         with pytest.raises(SystemExit):
             main([])

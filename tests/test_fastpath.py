@@ -1,0 +1,108 @@
+"""Unit tests for the fast-path memo substrate."""
+
+import dataclasses
+
+import pytest
+
+from repro import fastpath
+
+
+class TestMemo:
+    def test_computes_once(self):
+        memo = fastpath.Memo("t-once", max_entries=4)
+        calls = []
+        for _ in range(3):
+            value = memo.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert value == 42
+        assert len(calls) == 1
+        assert memo.hits == 2
+        assert memo.misses == 1
+
+    def test_lru_eviction(self):
+        memo = fastpath.Memo("t-lru", max_entries=2)
+        memo.get_or_compute("a", lambda: 1)
+        memo.get_or_compute("b", lambda: 2)
+        memo.get_or_compute("a", lambda: 1)   # refresh a
+        memo.get_or_compute("c", lambda: 3)   # evicts b
+        assert len(memo) == 2
+        calls = []
+        memo.get_or_compute("b", lambda: calls.append(1) or 2)
+        assert calls  # b was recomputed
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            fastpath.Memo("t-bad", max_entries=0)
+
+    def test_clear_resets_counters(self):
+        memo = fastpath.Memo("t-clear")
+        memo.get_or_compute("a", lambda: 1)
+        memo.get_or_compute("a", lambda: 1)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.hits == 0 and memo.misses == 0
+
+
+class TestDisabledContext:
+    def test_bypasses_memo(self):
+        memo = fastpath.Memo("t-disabled")
+        calls = []
+        with fastpath.disabled():
+            assert not fastpath.enabled()
+            for _ in range(2):
+                memo.get_or_compute("k", lambda: calls.append(1) or 7)
+        assert len(calls) == 2          # recomputed every time
+        assert len(memo) == 0           # nothing stored
+        assert fastpath.enabled()
+
+    def test_nesting_restores(self):
+        with fastpath.disabled():
+            with fastpath.disabled():
+                assert not fastpath.enabled()
+            assert not fastpath.enabled()
+        assert fastpath.enabled()
+
+    def test_existing_entries_survive(self):
+        memo = fastpath.Memo("t-survive")
+        memo.get_or_compute("k", lambda: 1)
+        with fastpath.disabled():
+            memo.get_or_compute("k", lambda: 2)
+        assert memo.get_or_compute("k", lambda: 3) == 1
+
+    def test_stats_and_clear_all(self):
+        memo = fastpath.Memo("t-stats")
+        memo.get_or_compute("k", lambda: 1)
+        assert fastpath.stats()["t-stats"] == {
+            "hits": 0, "misses": 1, "entries": 1}
+        fastpath.clear_all()
+        assert fastpath.stats()["t-stats"]["entries"] == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    x: int
+    y: str = "z"
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert fastpath.stable_hash({"a": 1}) == fastpath.stable_hash({"a": 1})
+
+    def test_content_not_identity(self):
+        assert fastpath.stable_hash(_Point(1)) == fastpath.stable_hash(
+            _Point(1))
+        assert fastpath.stable_hash(_Point(1)) != fastpath.stable_hash(
+            _Point(2))
+
+    def test_nested_dataclasses(self):
+        a = fastpath.stable_hash({"p": _Point(1), "q": [_Point(2)]})
+        b = fastpath.stable_hash({"p": _Point(1), "q": [_Point(2)]})
+        assert a == b
+
+    def test_matches_engine_cache_keys(self):
+        """config_key must keep producing the same on-disk cache keys."""
+        from repro.engine.cache import config_key
+        from tests.conftest import make_tiny_config
+
+        config = make_tiny_config()
+        assert config_key(config) == config_key(
+            dataclasses.replace(config))

@@ -1,0 +1,92 @@
+"""Numerical-parity guarantees of the evaluation fast path.
+
+The fast path (process-wide memos, Bakoglu-seeded repeater refinement,
+rank-pruned organization search) must change *nothing* about the
+numbers: every validation preset's report has to match the exhaustive
+``repro.fastpath.disabled()`` path exactly, field for field.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import fastpath
+from repro.array import ArraySpec, build_array, search_organizations
+from repro.chip import Processor
+from repro.circuit import RepeatedWire
+from repro.config import presets
+from repro.tech import Technology
+from repro.tech.wire import WireType
+
+TECH = Technology(node_nm=65, temperature_k=360)
+
+
+def _flatten(result):
+    """Every (path, field, value) triple of a ComponentResult tree."""
+    for field in dataclasses.fields(result):
+        if field.name == "children":
+            continue
+        yield result.name, field.name, getattr(result, field.name)
+    for child in result.children:
+        yield from _flatten(child)
+
+
+@pytest.mark.parametrize("preset", tuple(presets.VALIDATION_PRESETS))
+def test_preset_reports_identical(preset):
+    """Memoized-vs-exact parity, exact equality on every field."""
+    build = presets.VALIDATION_PRESETS[preset]
+    with fastpath.disabled():
+        exact = Processor(build()).report()
+    fastpath.clear_all()
+    cold = Processor(build()).report()
+    warm = Processor(build()).report()
+
+    for (path_a, field_a, value_a), (path_b, field_b, value_b) in zip(
+        _flatten(exact), _flatten(cold), strict=True,
+    ):
+        assert (path_a, field_a) == (path_b, field_b)
+        assert value_a == value_b, (
+            f"{preset}: {path_a}.{field_a} differs: {value_a} != {value_b}"
+        )
+    assert cold == warm
+    assert exact == cold
+
+
+def test_build_array_parity_and_sharing():
+    spec = ArraySpec(name="parity", entries=1024, width_bits=256)
+    with fastpath.disabled():
+        exact = build_array(TECH, spec)
+    first = build_array(TECH, spec)
+    again = build_array(TECH, spec)
+    assert first == exact
+    assert again is first  # memo shares the immutable result
+
+
+def test_search_exact_flag_is_superset():
+    spec = ArraySpec(name="x", entries=8192, width_bits=512)
+    pruned = search_organizations(TECH, spec, exact=False)
+    full = search_organizations(TECH, spec, exact=True)
+    assert len(full) >= len(pruned)
+    assert pruned[0].organization == full[0].organization
+    full_orgs = {b.organization for b in full}
+    assert all(b.organization in full_orgs for b in pruned)
+
+
+def test_repeater_window_matches_full_grid():
+    for wire_type in (WireType.LOCAL, WireType.SEMI_GLOBAL, WireType.GLOBAL):
+        for penalty in (1.0, 1.3, 2.0):
+            fast = RepeatedWire(TECH, wire_type, penalty)._optimum
+            with fastpath.disabled():
+                exact = RepeatedWire(TECH, wire_type, penalty)._optimum
+            assert fast == exact
+
+
+def test_disabled_context_restores_fast_path():
+    spec = ArraySpec(name="restore", entries=256, width_bits=64)
+    build_array(TECH, spec)
+    hits_before = fastpath.stats()["build_array"]["hits"]
+    with fastpath.disabled():
+        build_array(TECH, spec)
+    assert fastpath.stats()["build_array"]["hits"] == hits_before
+    build_array(TECH, spec)
+    assert fastpath.stats()["build_array"]["hits"] == hits_before + 1
