@@ -1,12 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify bench
+.PHONY: test verify bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-verify: test
+lint:
+	$(PYTHON) -m repro.cli lint src tests
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+
+verify: lint test
 	$(PYTHON) benchmarks/bench_engine.py --smoke
 	$(PYTHON) benchmarks/bench_single_eval.py --smoke
 

@@ -1,0 +1,39 @@
+"""Model-invariant static analysis for the reproduction tree.
+
+``repro.analysis`` is a stdlib-``ast`` lint suite with three rule
+families protecting the invariants the fast path (PR 2) and the
+content-hash cache (PR 1) rely on:
+
+* **cache purity** (CP001-CP003) — memoized functions key on
+  hashable/frozen inputs, stay pure, and their shared results are never
+  mutated at call sites;
+* **numeric hygiene** (NUM001-NUM003) — no float-literal equality, no
+  unguarded divisions by parameters, no mutable default arguments;
+* **units / frozen-spec discipline** (SPEC001, UNIT001) — canonical
+  physical-unit name suffixes and ``frozen=True`` spec dataclasses.
+
+Run it as ``mcpat-repro lint src/ tests/`` or through
+:func:`lint_paths` / :func:`lint_source`. Suppress a deliberate
+violation inline with ``# repro: noqa[RULE]``.
+"""
+
+from repro.analysis.finding import ALL_RULE_IDS, Finding, RULE_INFO, RULES
+from repro.analysis.runner import (
+    LintResult,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "RULE_INFO",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+]

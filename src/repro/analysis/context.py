@@ -1,0 +1,104 @@
+"""Parsed-module container and the project-wide memoization index.
+
+The cache-purity rules need cross-file knowledge: ``tests/`` call sites
+mutating the return of ``build_array`` can only be flagged if the linter
+knows ``build_array`` (defined in ``repro.array``) is memoized. The
+:class:`ProjectIndex` is that knowledge, built in a cheap pre-pass over
+every module before any rule runs.
+
+A function is considered *memoized* when its body calls
+``<memo>.get_or_compute(...)`` (the :class:`repro.fastpath.Memo`
+protocol) or builds a cache key through ``stable_hash`` /
+``config_key``. The compute callback handed to ``get_or_compute`` is
+memoized by extension: its return value is the object the memo shares.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Key-derivation callables that mark the enclosing function as part of
+#: the content-hash cache contract.
+KEY_FUNCTIONS = frozenset({"stable_hash", "config_key"})
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed Python module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """Terminal name of a callable expression (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _compute_target(node: ast.expr) -> str | None:
+    """Name of the compute callback passed to ``get_or_compute``.
+
+    Handles the three idioms in the tree: a bare function reference, a
+    bound-method reference (``self._solve``), and a zero-arg lambda
+    closing over the arguments (``lambda: _solve(a, b)``).
+    """
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return _call_name(node)
+    if isinstance(node, ast.Lambda) and isinstance(node.body, ast.Call):
+        return _call_name(node.body.func)
+    return None
+
+
+@dataclass(frozen=True)
+class ProjectIndex:
+    """Cross-module facts the purity rules consume.
+
+    Frozen bindings; the sets themselves are filled during
+    :meth:`scan` and read-only afterwards.
+
+    Attributes:
+        memoized_defs: Names of function definitions whose bodies are
+            subject to the purity contract (memo wrappers, compute
+            callbacks, and key-building functions).
+        memoized_callables: Names whose call (or attribute-access, for
+            ``cached_property`` wrappers) results are shared memo
+            entries and must not be mutated by callers.
+    """
+
+    memoized_defs: set[str] = field(default_factory=set)
+    memoized_callables: set[str] = field(default_factory=set)
+
+    def scan(self, module: ModuleSource) -> None:
+        """Fold one module's memoization facts into the index."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                name = _call_name(inner.func)
+                if name == "get_or_compute":
+                    self.memoized_defs.add(node.name)
+                    self.memoized_callables.add(node.name)
+                    if len(inner.args) >= 2:
+                        target = _compute_target(inner.args[1])
+                        if target is not None:
+                            self.memoized_defs.add(target)
+                elif name in KEY_FUNCTIONS and node.name not in KEY_FUNCTIONS:
+                    # Builds a content-hash key: part of the cache
+                    # contract even if the memo lives elsewhere.
+                    self.memoized_defs.add(node.name)
+
+
+def build_index(modules: list[ModuleSource]) -> ProjectIndex:
+    """Pre-pass: collect memoization facts across ``modules``."""
+    index = ProjectIndex()
+    for module in modules:
+        index.scan(module)
+    return index

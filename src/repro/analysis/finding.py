@@ -1,0 +1,115 @@
+"""Finding and rule metadata shared by every lint rule.
+
+A :class:`Finding` is one violation at one source location. Rules are
+registered in :mod:`repro.analysis.rules`; the metadata here (rule id,
+human name, protected invariant) is what the CLI and the docs render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: File the violation is in (as given to the runner).
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule: Rule id, e.g. ``"CP003"``.
+        message: Human-readable description with a suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form, used by ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry metadata for one rule.
+
+    Attributes:
+        rule_id: Stable identifier used in ``--disable`` and noqa comments.
+        name: Short kebab-case name.
+        invariant: The model invariant the rule protects.
+    """
+
+    rule_id: str
+    name: str
+    invariant: str
+
+
+#: Every shipped rule, in family order. The check functions live in
+#: :mod:`repro.analysis.rules`; this table is the single source of truth
+#: for ids and documentation.
+RULE_INFO: tuple[RuleInfo, ...] = (
+    RuleInfo(
+        "CP001",
+        "memoized-unhashable-param",
+        "functions memoized via repro.fastpath (or keyed through "
+        "stable_hash) must take only hashable/frozen parameter types",
+    ),
+    RuleInfo(
+        "CP002",
+        "memoized-impure",
+        "memoized functions must be pure: no global/nonlocal writes and "
+        "no mutation of their arguments",
+    ),
+    RuleInfo(
+        "CP003",
+        "memoized-return-mutation",
+        "results of memoized callables are shared process-wide and must "
+        "never be mutated at call sites",
+    ),
+    RuleInfo(
+        "NUM001",
+        "float-equality",
+        "float quantities must not be compared with == / != against "
+        "float literals; use math.isclose or pytest.approx",
+    ),
+    RuleInfo(
+        "NUM002",
+        "unguarded-division",
+        "divisions by a bare parameter in model formulas must be guarded "
+        "by validation before use",
+    ),
+    RuleInfo(
+        "NUM003",
+        "mutable-default-arg",
+        "default argument values must be immutable",
+    ),
+    RuleInfo(
+        "SPEC001",
+        "unfrozen-spec-dataclass",
+        "spec/config dataclasses must be frozen=True so cache keys and "
+        "memoized results stay immutable",
+    ),
+    RuleInfo(
+        "UNIT001",
+        "unit-suffix",
+        "physical-quantity names must use the canonical repro.units "
+        "suffixes (_s, _w, _j, _f, _m, _m2, _v, _a, _ohm, _k, _hz)",
+    ),
+)
+
+#: Rule id -> metadata.
+RULES: dict[str, RuleInfo] = {info.rule_id: info for info in RULE_INFO}
+
+#: All known rule ids, for --disable / noqa validation.
+ALL_RULE_IDS: frozenset[str] = frozenset(RULES)

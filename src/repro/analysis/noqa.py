@@ -1,0 +1,87 @@
+"""Inline suppression comments: ``# repro: noqa[RULE1,RULE2]``.
+
+A finding is suppressed when the line it is reported on carries a
+matching suppression comment. Two forms exist:
+
+* ``# repro: noqa`` — suppress every rule on that line (blanket form;
+  prefer the targeted form so the suppression documents *which*
+  invariant is being waived).
+* ``# repro: noqa[CP003]`` / ``# repro: noqa[CP003,NUM001]`` — suppress
+  only the listed rules.
+
+Suppression comments are found with :mod:`tokenize`, so mentions inside
+strings and docstrings are ignored. Unknown rule ids inside the
+brackets are reported by the runner as ``NOQA`` findings rather than
+silently ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Per-file suppression table built from the source text.
+
+    Attributes:
+        blanket_lines: Lines carrying a bare ``# repro: noqa``.
+        rule_lines: Line -> set of rule ids suppressed on that line.
+        unknown: (line, token) pairs for unrecognized rule ids.
+    """
+
+    blanket_lines: set[int] = field(default_factory=set)
+    rule_lines: dict[int, set[str]] = field(default_factory=dict)
+    unknown: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is suppressed on 1-based ``line``."""
+        if line in self.blanket_lines:
+            return True
+        return rule in self.rule_lines.get(line, set())
+
+
+def parse_suppressions(
+    source: str, known_rules: frozenset[str]
+) -> Suppressions:
+    """Scan ``source`` for suppression comments.
+
+    Args:
+        source: Full module text.
+        known_rules: Valid rule ids; anything else is recorded in
+            :attr:`Suppressions.unknown`.
+    """
+    table = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable file: the runner reports a SYNTAX finding instead.
+        return table
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        lineno = tok.start[0]
+        raw = match.group("rules")
+        if raw is None:
+            table.blanket_lines.add(lineno)
+            continue
+        rules = table.rule_lines.setdefault(lineno, set())
+        for token in raw.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token.upper() in known_rules:
+                rules.add(token.upper())
+            else:
+                table.unknown.append((lineno, token))
+    return table

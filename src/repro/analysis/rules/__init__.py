@@ -1,0 +1,39 @@
+"""Rule registry: maps rule ids to their check functions.
+
+Each check is ``(ModuleSource, ProjectIndex) -> Iterator[Finding]`` and
+is pure — all cross-file state lives in the pre-built index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.analysis.context import ModuleSource, ProjectIndex
+from repro.analysis.finding import Finding
+from repro.analysis.rules.numeric import (
+    check_num001,
+    check_num002,
+    check_num003,
+)
+from repro.analysis.rules.purity import (
+    check_cp001,
+    check_cp002,
+    check_cp003,
+)
+from repro.analysis.rules.units import check_spec001, check_unit001
+
+CheckFunction = Callable[
+    [ModuleSource, ProjectIndex], Iterator[Finding]
+]
+
+#: Rule id -> check function, in reporting order.
+CHECKS: dict[str, CheckFunction] = {
+    "CP001": check_cp001,
+    "CP002": check_cp002,
+    "CP003": check_cp003,
+    "NUM001": check_num001,
+    "NUM002": check_num002,
+    "NUM003": check_num003,
+    "SPEC001": check_spec001,
+    "UNIT001": check_unit001,
+}

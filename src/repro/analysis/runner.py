@@ -1,0 +1,220 @@
+"""Lint driver: file discovery, index pre-pass, rule dispatch, output.
+
+The driver is two passes. Pass one parses every target file *plus* the
+installed ``repro`` package and builds the :class:`ProjectIndex`, so a
+call site in ``tests/`` mutating the return of the memoized
+``build_array`` is flagged even though the memo lives in ``src/``. Pass
+two runs each enabled rule over each target module and filters the
+findings through the inline-suppression table.
+
+Two pseudo-rules can appear in output and are never suppressible:
+``SYNTAX`` (a target file failed to parse) and ``NOQA`` (a suppression
+comment names an unknown rule id).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ModuleSource, ProjectIndex, build_index
+from repro.analysis.finding import ALL_RULE_IDS, Finding
+from repro.analysis.noqa import parse_suppressions
+from repro.analysis.rules import CHECKS
+
+#: JSON output schema version (``--format json``).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: Surviving findings, sorted by location.
+        suppressed: Count of findings silenced by noqa comments.
+        files_checked: Number of target files analyzed.
+    """
+
+    findings: tuple[Finding, ...] = ()
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean."""
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.parts
+                if "__pycache__" in parts or any(
+                    part.startswith(".") for part in parts
+                ):
+                    continue
+                files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(
+                f"{path} is neither a directory nor a .py file"
+            )
+    return sorted(files)
+
+
+def _parse_module(path: Path) -> ModuleSource | Finding:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            str(path), exc.lineno or 1, (exc.offset or 1) - 1, "SYNTAX",
+            f"file does not parse: {exc.msg}",
+        )
+    return ModuleSource(path=str(path), source=source, tree=tree)
+
+
+def _package_modules() -> list[ModuleSource]:
+    """The installed ``repro`` package, for index context."""
+    package_dir = Path(__file__).resolve().parents[1]
+    modules = []
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        parsed = _parse_module(path)
+        if isinstance(parsed, ModuleSource):
+            modules.append(parsed)
+    return modules
+
+
+def validate_disable(disable: Iterable[str]) -> frozenset[str]:
+    """Normalize and validate ``--disable`` rule ids."""
+    normalized = {rule.strip().upper() for rule in disable if rule.strip()}
+    unknown = normalized - ALL_RULE_IDS
+    if unknown:
+        known = ", ".join(sorted(ALL_RULE_IDS))
+        raise ValueError(
+            f"unknown rule id(s) {sorted(unknown)}; known rules: {known}"
+        )
+    return frozenset(normalized)
+
+
+def _lint_modules(
+    targets: list[ModuleSource],
+    parse_failures: list[Finding],
+    disable: frozenset[str],
+    index: ProjectIndex,
+) -> LintResult:
+    findings: list[Finding] = list(parse_failures)
+    suppressed = 0
+    for module in targets:
+        suppressions = parse_suppressions(module.source, ALL_RULE_IDS)
+        for lineno, token in suppressions.unknown:
+            findings.append(Finding(
+                module.path, lineno, 0, "NOQA",
+                f"suppression names unknown rule {token!r}",
+            ))
+        for rule_id, check in CHECKS.items():
+            if rule_id in disable:
+                continue
+            for finding in check(module, index):
+                if suppressions.is_suppressed(finding.line, finding.rule):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    return LintResult(
+        findings=tuple(sorted(findings)),
+        suppressed=suppressed,
+        files_checked=len(targets) + len(parse_failures),
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    disable: Iterable[str] = (),
+) -> LintResult:
+    """Lint files/directories; the main entry point behind the CLI."""
+    disabled = validate_disable(disable)
+    files = iter_python_files(paths)
+    targets: list[ModuleSource] = []
+    parse_failures: list[Finding] = []
+    for path in files:
+        parsed = _parse_module(path)
+        if isinstance(parsed, Finding):
+            parse_failures.append(parsed)
+        else:
+            targets.append(parsed)
+    indexed: dict[str, ModuleSource] = {
+        module.path: module for module in _package_modules()
+    }
+    for module in targets:
+        indexed[str(Path(module.path).resolve())] = module
+    index = build_index(list(indexed.values()))
+    return _lint_modules(targets, parse_failures, disabled, index)
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    disable: Iterable[str] = (),
+    index: ProjectIndex | None = None,
+) -> LintResult:
+    """Lint one in-memory module (test fixtures, tooling).
+
+    When ``index`` is omitted the snippet is self-indexing: its own
+    memoization facts are collected, but the wider package is not
+    consulted.
+    """
+    disabled = validate_disable(disable)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        failure = Finding(
+            path, exc.lineno or 1, (exc.offset or 1) - 1, "SYNTAX",
+            f"file does not parse: {exc.msg}",
+        )
+        return _lint_modules([], [failure], disabled, ProjectIndex())
+    module = ModuleSource(path=path, source=source, tree=tree)
+    if index is None:
+        index = build_index([module])
+    return _lint_modules([module], [], disabled, index)
+
+
+def format_text(result: LintResult) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}"
+        for f in result.findings
+    ]
+    summary = (
+        f"{len(result.findings)} finding(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report (stable schema, see tests)."""
+    by_rule: dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": dict(sorted(by_rule.items())),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

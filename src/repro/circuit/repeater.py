@@ -157,7 +157,7 @@ class RepeatedWire:
             for i in size_window for j in spacing_window
         )
         best = (_SIZES[best_i], _SPACINGS[best_j], best_value)
-        if self.delay_penalty == 1.0:
+        if self.delay_penalty <= 1.0:  # validated >= 1.0: no back-off
             return best
         # Energy back-off: among design points within the delay budget,
         # pick the one with the lowest repeater capacitance per length

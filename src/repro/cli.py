@@ -9,6 +9,8 @@ Subcommands mirror how the original tool is used:
 * ``clustering`` — the 22 nm manycore clustering case study.
 * ``sweep`` — batch-evaluate a parameter grid over a base config on the
   parallel, cached evaluation engine.
+* ``lint`` — run the model-invariant static-analysis suite
+  (:mod:`repro.analysis`) over source trees.
 """
 
 from __future__ import annotations
@@ -182,6 +184,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import format_json, format_text, lint_paths
+
+    try:
+        result = lint_paths(args.paths, disable=args.disable)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``mcpat-repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -245,6 +261,24 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--checkpoint", default=None, metavar="PATH",
                        help="JSONL checkpoint for resume-after-interrupt")
     sweep.set_defaults(func=_cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: cache-purity, numeric, units lints",
+    )
+    lint.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="files or directories to lint (e.g. src/ tests/)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--disable", action="append", default=[], metavar="RULE",
+        help="disable a rule id, e.g. --disable NUM001 (repeatable)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

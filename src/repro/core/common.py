@@ -29,7 +29,7 @@ def array_result(
         runtime_writes: Writes per cycle under the supplied stats.
     """
     def dynamic(reads: float, writes: float) -> float:
-        if reads == 0.0 and writes == 0.0:
+        if reads <= 0.0 and writes <= 0.0:
             return 0.0  # no stats supplied / structure clock-gated
         per_cycle = (
             reads * array.read_energy

@@ -21,7 +21,7 @@ from repro.engine.record import EvalRecord, evaluate_config
 from repro.perf.workload import Workload
 
 #: One payload: (cache key, config, workload-or-None).
-Payload = tuple[str, SystemConfig, "Workload | None"]
+Payload = tuple[str, SystemConfig, Workload | None]
 
 #: Chunks submitted per worker; >1 balances uneven evaluation costs.
 _CHUNKS_PER_WORKER = 4

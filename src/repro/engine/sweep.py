@@ -175,7 +175,7 @@ def run_sweep(
     spec: SweepSpec,
     workload: Workload | None = None,
     jobs: int = 1,
-    cache: "EvalCache | None" = DEFAULT_CACHE,
+    cache: EvalCache | None = DEFAULT_CACHE,
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 16,
 ) -> list[SweepPointResult]:

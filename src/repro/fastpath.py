@@ -32,7 +32,7 @@ import hashlib
 import json
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, TypeVar
+from typing import Any, Callable, Iterator, TypeVar, cast
 
 T = TypeVar("T")
 
@@ -102,7 +102,7 @@ class Memo:
         else:
             self._entries.move_to_end(key)
             self.hits += 1
-            return value
+            return cast(T, value)
         self.misses += 1
         value = compute()
         self._entries[key] = value

@@ -98,6 +98,8 @@ class SharedCache:
         tag-then-data access, so TDP traffic is ``banks / access_time``
         rather than one access per core clock per bank.
         """
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
         occupancy = max(self.cache.access_time, self.cache.cycle_time,
                         1.0 / clock_hz)
         per_bank_rate = 1.0 / occupancy
@@ -150,7 +152,7 @@ class SharedCache:
 
         if self.mshrs is not None:
             def mshr_power(rr: dict[str, float]) -> float:
-                if rr["reads"] == 0.0 and rr["writes"] == 0.0:
+                if rr["reads"] <= 0.0 and rr["writes"] <= 0.0:
                     return 0.0  # idle / no stats: clock-gated
                 per_cycle = rr["misses"] * (
                     self.mshrs.read_energy + self.mshrs.write_energy

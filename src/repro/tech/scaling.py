@@ -14,6 +14,14 @@ from __future__ import annotations
 from repro.tech.device import DeviceType, device_parameters
 
 
+def _check_nodes(from_node_nm: int, to_node_nm: int) -> None:
+    """Reject non-physical nodes before they reach a denominator."""
+    if from_node_nm <= 0 or to_node_nm <= 0:
+        raise ValueError(
+            f"nodes must be positive, got {from_node_nm} -> {to_node_nm}"
+        )
+
+
 def dynamic_energy_scale(
     from_node_nm: int,
     to_node_nm: int,
@@ -25,6 +33,7 @@ def dynamic_energy_scale(
     feature size (device widths and local wire lengths both shrink
     linearly).
     """
+    _check_nodes(from_node_nm, to_node_nm)
     src = device_parameters(from_node_nm, device_type)
     dst = device_parameters(to_node_nm, device_type)
     cap_ratio = to_node_nm / from_node_nm
@@ -34,6 +43,7 @@ def dynamic_energy_scale(
 
 def area_scale(from_node_nm: int, to_node_nm: int) -> float:
     """Factor that scales a block area between nodes (ideal shrink)."""
+    _check_nodes(from_node_nm, to_node_nm)
     return (to_node_nm / from_node_nm) ** 2
 
 

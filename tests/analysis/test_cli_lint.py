@@ -1,0 +1,70 @@
+"""`mcpat-repro lint` CLI behavior and the repo-wide meta-test."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "def per_cycle(energy_j: float) -> float:\n    return energy_j\n"
+DIRTY = "def formula(x):\n    return x == 1.0\n"
+
+
+def _write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestCliLint:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, CLEAN)
+        assert main(["lint", str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = _write(tmp_path, DIRTY)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "NUM001" in out
+        assert f"{path}:2:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = _write(tmp_path, DIRTY)
+        assert main(["lint", "--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"NUM001": 1}
+        assert payload["findings"][0]["path"].endswith("mod.py")
+
+    def test_disable_flag(self, tmp_path):
+        path = _write(tmp_path, DIRTY)
+        assert main(["lint", "--disable", "NUM001", str(path)]) == 0
+
+    def test_unknown_disable_is_an_error(self, tmp_path):
+        path = _write(tmp_path, CLEAN)
+        with pytest.raises(SystemExit):
+            main(["lint", "--disable", "NOPE", str(path)])
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lint", str(tmp_path / "absent.py")])
+
+    def test_directory_is_walked(self, tmp_path):
+        _write(tmp_path, DIRTY, name="a.py")
+        _write(tmp_path, CLEAN, name="b.py")
+        assert main(["lint", str(tmp_path)]) == 1
+
+
+class TestMetaLint:
+    """The shipped tree must satisfy its own linter."""
+
+    def test_src_tree_is_clean(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_tests_tree_is_clean(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "tests")]) == 0

@@ -1,0 +1,116 @@
+"""Suppression comments, rule disabling, and output formats."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import ALL_RULE_IDS, RULES, lint_source
+from repro.analysis.runner import format_json, format_text, validate_disable
+
+FLOAT_EQ = """
+    def formula(x):
+        return x == 1.0  # repro: noqa[NUM001]
+"""
+
+BLANKET = """
+    def formula(x):
+        return x == 1.0  # repro: noqa
+"""
+
+
+def _lint(snippet, **kwargs):
+    return lint_source(textwrap.dedent(snippet), **kwargs)
+
+
+class TestSuppressions:
+    def test_targeted_noqa_suppresses_and_counts(self):
+        result = _lint(FLOAT_EQ)
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_blanket_noqa_suppresses(self):
+        result = _lint(BLANKET)
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        result = _lint("""
+            def formula(x):
+                return x == 1.0  # repro: noqa[SPEC001]
+        """)
+        assert [f.rule for f in result.findings] == ["NUM001"]
+        assert result.suppressed == 0
+
+    def test_unknown_rule_in_noqa_is_reported(self):
+        result = _lint("""
+            value = 1  # repro: noqa[BOGUS99]
+        """)
+        assert [f.rule for f in result.findings] == ["NOQA"]
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        result = _lint('''
+            def formula(x):
+                """Docs may say # repro: noqa without effect."""
+                return x == 1.0
+        ''')
+        assert [f.rule for f in result.findings] == ["NUM001"]
+
+    def test_multiple_rules_in_one_comment(self):
+        # Both findings anchor on the one-line def, so a single comment
+        # can name both rules.
+        result = _lint("""
+            def formula(x, values=[]): return x == 1.0  # repro: noqa[NUM001, NUM003]
+        """)
+        assert result.ok
+        assert result.suppressed == 2
+
+
+class TestDisable:
+    def test_disable_skips_rule(self):
+        result = _lint(FLOAT_EQ.replace("  # repro: noqa[NUM001]", ""),
+                       disable=["NUM001"])
+        assert result.ok
+        assert result.suppressed == 0
+
+    def test_disable_is_case_insensitive(self):
+        result = _lint("x = 1.0 == 1.0\n", disable=["num001"])
+        assert result.ok
+
+    def test_unknown_disable_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            validate_disable(["NOPE01"])
+
+    def test_registry_is_consistent(self):
+        from repro.analysis.rules import CHECKS
+
+        assert set(CHECKS) == ALL_RULE_IDS
+        assert set(RULES) == ALL_RULE_IDS
+
+
+class TestOutputFormats:
+    def test_json_schema(self):
+        result = _lint("x = 1.0 == 1.0\n")
+        payload = json.loads(format_json(result))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        assert payload["counts"] == {"NUM001": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "NUM001"
+        assert finding["line"] == 1
+
+    def test_text_format(self):
+        result = _lint("x = 1.0 == 1.0\n")
+        text = format_text(result)
+        assert "NUM001" in text
+        assert text.endswith("1 finding(s) in 1 file(s)")
+
+    def test_text_format_reports_suppressed(self):
+        text = format_text(_lint(FLOAT_EQ))
+        assert text.endswith("0 finding(s) in 1 file(s), 1 suppressed")
+
+    def test_syntax_error_is_a_finding(self):
+        result = _lint("def broken(:\n")
+        assert [f.rule for f in result.findings] == ["SYNTAX"]

@@ -1,0 +1,113 @@
+"""Numeric-hygiene rules (NUM001-NUM003)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def _rules(snippet, disable=()):
+    result = lint_source(textwrap.dedent(snippet), disable=disable)
+    return [f.rule for f in result.findings]
+
+
+class TestNum001FloatEquality:
+    def test_equality_against_float_literal(self):
+        assert "NUM001" in _rules("""
+            def formula(x):
+                return x == 1.0
+        """)
+
+    def test_inequality_against_float_literal(self):
+        assert "NUM001" in _rules("""
+            def formula(x):
+                if x != 0.0:
+                    return x
+        """)
+
+    def test_literal_on_the_left(self):
+        assert "NUM001" in _rules("""
+            def formula(x):
+                return 2.5 == x
+        """)
+
+    def test_int_literal_equality_is_fine(self):
+        assert "NUM001" not in _rules("""
+            def formula(n):
+                return n == 2
+        """)
+
+    def test_ordered_comparisons_are_fine(self):
+        assert "NUM001" not in _rules("""
+            def formula(x):
+                return x <= 1.0 or x > 2.5
+        """)
+
+    def test_pytest_approx_pattern_is_fine(self):
+        assert "NUM001" not in _rules("""
+            import pytest
+
+            def check(x):
+                assert x == pytest.approx(1.0)
+        """)
+
+
+class TestNum002UnguardedDivision:
+    def test_bare_parameter_denominator_is_flagged(self):
+        assert "NUM002" in _rules("""
+            def per_length(total, length):
+                return total / length
+        """)
+
+    def test_if_guard_passes(self):
+        assert "NUM002" not in _rules("""
+            def per_length(total, length):
+                if length <= 0:
+                    raise ValueError("length must be positive")
+                return total / length
+        """)
+
+    def test_validation_helper_call_passes(self):
+        assert "NUM002" not in _rules("""
+            def per_length(total, length):
+                _check_length(length)
+                return total / length
+        """)
+
+    def test_path_join_slash_is_fine(self):
+        assert "NUM002" not in _rules("""
+            def locate(root, name="mod.py"):
+                return root / name
+        """)
+        assert "NUM002" not in _rules("""
+            from pathlib import Path
+
+            def locate(root: Path, name: str):
+                return root / name
+        """)
+
+    def test_non_parameter_denominator_is_fine(self):
+        assert "NUM002" not in _rules("""
+            def per_length(total):
+                length = 10.0
+                return total / length
+        """)
+
+
+class TestNum003MutableDefault:
+    def test_list_default_is_flagged(self):
+        assert "NUM003" in _rules("""
+            def collect(values=[]):
+                return values
+        """)
+
+    def test_dict_call_default_is_flagged(self):
+        assert "NUM003" in _rules("""
+            def collect(*, mapping=dict()):
+                return mapping
+        """)
+
+    def test_none_and_tuple_defaults_are_fine(self):
+        assert "NUM003" not in _rules("""
+            def collect(values=None, weights=(1.0, 2.0)):
+                return values, weights
+        """)

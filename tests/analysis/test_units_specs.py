@@ -1,0 +1,85 @@
+"""Units and frozen-spec rules (UNIT001, SPEC001)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def _rules(snippet):
+    return [f.rule for f in lint_source(textwrap.dedent(snippet)).findings]
+
+
+class TestSpec001FrozenDataclasses:
+    def test_bare_dataclass_is_flagged(self):
+        assert "SPEC001" in _rules("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class ArraySpec:
+                entries: int
+        """)
+
+    def test_call_without_frozen_is_flagged(self):
+        assert "SPEC001" in _rules("""
+            import dataclasses
+
+            @dataclasses.dataclass(slots=True)
+            class CoreConfig:
+                width: int
+        """)
+
+    def test_frozen_false_is_flagged(self):
+        assert "SPEC001" in _rules("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=False)
+            class TechSpec:
+                node_nm: int
+        """)
+
+    def test_frozen_true_passes(self):
+        assert "SPEC001" not in _rules("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ArraySpec:
+                entries: int
+        """)
+
+    def test_plain_class_is_not_a_dataclass(self):
+        assert "SPEC001" not in _rules("""
+            class Helper:
+                pass
+        """)
+
+
+class TestUnit001Suffixes:
+    def test_verbose_seconds_suffix_is_flagged(self):
+        assert "UNIT001" in _rules("""
+            delay_seconds = 1.0e-9
+        """)
+
+    def test_watt_suffix_on_argument_is_flagged(self):
+        assert "UNIT001" in _rules("""
+            def budget(power_watts):
+                return power_watts
+        """)
+
+    def test_joule_suffix_on_function_name_is_flagged(self):
+        assert "UNIT001" in _rules("""
+            def read_energy_joules():
+                return 1.0e-12
+        """)
+
+    def test_canonical_suffixes_pass(self):
+        assert "UNIT001" not in _rules("""
+            def report(tdp_w, area_m2, read_energy_j, delay_s, c_in_f):
+                return tdp_w + area_m2 + read_energy_j + delay_s + c_in_f
+        """)
+
+    def test_rate_and_conversion_names_pass(self):
+        assert "UNIT001" not in _rules("""
+            def throughput(reads_per_second, celsius_to_kelvin):
+                bits_per_watt = 1.0
+                return reads_per_second, celsius_to_kelvin, bits_per_watt
+        """)

@@ -1,6 +1,5 @@
 """Property-based tests on cache assembly invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.array import Cache, CacheAccessMode, CacheSpec

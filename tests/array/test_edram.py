@@ -37,8 +37,8 @@ class TestSubarrayEdram:
 
     def test_sram_has_no_restore_or_refresh(self):
         sram = Subarray(TECH, rows=128, cols=128, ports=PortCounts())
-        assert sram._restore_energy == 0.0
-        assert sram.refresh_power == 0.0
+        assert sram._restore_energy == pytest.approx(0.0)
+        assert sram.refresh_power == pytest.approx(0.0)
 
     def test_edram_refresh_positive(self):
         edram = Subarray(TECH, rows=128, cols=128, ports=PortCounts(),
@@ -64,7 +64,7 @@ class TestArrayLevelEdram:
         assert edram.leakage_power > edram.refresh_power
 
     def test_sram_refresh_zero(self):
-        assert build(CellType.SRAM).refresh_power == 0.0
+        assert build(CellType.SRAM).refresh_power == pytest.approx(0.0)
 
     def test_refresh_scales_with_capacity(self):
         small = build(CellType.EDRAM, entries=4096)

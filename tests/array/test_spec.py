@@ -30,7 +30,7 @@ class TestPortCounts:
         assert multi.area_cost_factor > single.area_cost_factor
 
     def test_single_port_factor_is_unity(self):
-        assert PortCounts().area_cost_factor == 1.0
+        assert PortCounts().area_cost_factor == pytest.approx(1.0)
 
     def test_read_ports_cheaper_than_write_ports(self):
         reads = PortCounts(read_write=1, read=2)

@@ -76,7 +76,7 @@ class TestEnergy:
                 > sub.bitline_read_energy)
 
     def test_zero_bits_written_zero_energy(self):
-        assert make().bitline_write_energy(0) == 0.0
+        assert make().bitline_write_energy(0) == pytest.approx(0.0)
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=4, max_value=512),

@@ -67,5 +67,5 @@ class TestCompare:
         # Niagara2 adds NIU/PCIe; those appear with baseline at zero.
         assert "NIU" in names
         niu = next(row for row in rows if row["name"] == "NIU")
-        assert niu["peak_power_baseline_w"] == 0.0
+        assert niu["peak_power_baseline_w"] == pytest.approx(0.0)
         assert niu["peak_power_candidate_w"] > 0.0

@@ -114,7 +114,6 @@ class TestMaxFeasibleClock:
 
     def test_newer_node_is_faster(self):
         from repro.config.presets import manycore_cluster
-        import dataclasses
 
         at_45 = Processor(manycore_cluster(
             n_cores=4, cores_per_cluster=2, node_nm=45))

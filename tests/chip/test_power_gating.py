@@ -1,7 +1,5 @@
 """Tests for power gating (runtime leakage reduction)."""
 
-import dataclasses
-
 import pytest
 
 from repro.activity import CoreActivity, SystemActivity
@@ -21,7 +19,7 @@ class TestResultGating:
         node = ComponentResult(name="x", leakage_power=10.0)
         gated = node.with_leakage_gating(0.2)
         assert gated.effective_runtime_leakage == pytest.approx(2.0)
-        assert gated.leakage_power == 10.0  # TDP view unchanged
+        assert gated.leakage_power == pytest.approx(10.0)  # TDP view unchanged
 
     def test_gating_recursive(self):
         tree = ComponentResult(
@@ -44,7 +42,7 @@ class TestResultGating:
 
     def test_default_runtime_leakage_equals_static(self):
         node = ComponentResult(name="x", leakage_power=7.0)
-        assert node.effective_runtime_leakage == 7.0
+        assert node.effective_runtime_leakage == pytest.approx(7.0)
         assert node.total_runtime_power == pytest.approx(7.0)
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.activity import CoreActivity, SystemActivity
 from repro.chip import Processor
 from repro.config import presets
-from repro.config.schema import CoreConfig, SystemConfig
 
 
 @pytest.fixture(scope="module")
@@ -78,7 +77,7 @@ class TestRuntimeAnalysis:
 
     def test_idle_chip_burns_only_leakage_and_io(self, niagara):
         report = niagara.report(activity=None)
-        assert report.total_runtime_dynamic_power == 0.0
+        assert report.total_runtime_dynamic_power == pytest.approx(0.0)
 
 
 class TestValidationBands:

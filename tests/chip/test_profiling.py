@@ -1,7 +1,6 @@
 """Tests for the model-build timing breakdown."""
 
 from repro.chip import Processor, format_timing_breakdown, timing_breakdown
-from repro.config import presets
 
 from tests.conftest import make_tiny_config
 

@@ -59,7 +59,6 @@ class TestNocLinkSignaling:
 
         from repro.config import (
             LinkSignaling as LS,
-            NocConfig,
             load_system_config,
             presets,
             save_system_config,

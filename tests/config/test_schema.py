@@ -108,7 +108,7 @@ class TestSystemConfig:
         return SystemConfig(**defaults)
 
     def test_cycle_time(self):
-        assert self._base(clock_hz=2e9).cycle_time == 0.5e-9
+        assert self._base(clock_hz=2e9).cycle_time == pytest.approx(0.5e-9)
 
     def test_zero_clock_rejected(self):
         with pytest.raises(ValueError):

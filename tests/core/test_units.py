@@ -48,7 +48,7 @@ class TestIfu:
 
     def test_no_activity_means_zero_runtime(self):
         result = InstructionFetchUnit(TECH, SIMPLE).result(CLOCK, None)
-        assert result.total_runtime_dynamic_power == 0.0
+        assert result.total_runtime_dynamic_power == pytest.approx(0.0)
         assert result.total_peak_dynamic_power > 0.0
 
     def test_x86_decoder_visible(self):
@@ -107,7 +107,7 @@ class TestExu:
         hot = exu.result(CLOCK, fp_heavy).child("fpus")
         cold = exu.result(CLOCK, int_only).child("fpus")
         assert hot.runtime_dynamic_power > cold.runtime_dynamic_power
-        assert cold.runtime_dynamic_power == 0.0
+        assert cold.runtime_dynamic_power == pytest.approx(0.0)
 
     def test_ooo_uses_physical_registers(self):
         ooo = CoreConfig(

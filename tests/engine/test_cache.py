@@ -91,7 +91,7 @@ class TestEvalCacheDisk:
 
         reloaded = EvalCache(path=path)
         assert len(reloaded) == 2
-        assert reloaded.get("k1").tdp_w == 11.0
+        assert reloaded.get("k1").tdp_w == pytest.approx(11.0)
         assert reloaded.get("k2").from_cache is True
 
     def test_corrupt_lines_skipped(self, tmp_path):

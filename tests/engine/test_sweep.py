@@ -43,7 +43,7 @@ class TestSpec:
         points = spec.points()
         assert points[0].config.n_cores == 1
         assert points[2].config.n_cores == 2
-        assert points[1].config.clock_hz == 2.0e9
+        assert points[1].config.clock_hz == pytest.approx(2.0e9)
 
     def test_dotted_path_reaches_nested_field(self):
         spec = SweepSpec.from_axes(

@@ -49,8 +49,8 @@ class TestFunctionalUnits:
 
     def test_zero_count_allowed(self):
         none = FunctionalUnit(TECH, FunctionalUnitKind.FPU, count=0)
-        assert none.area == 0.0
-        assert none.leakage_power == 0.0
+        assert none.area == pytest.approx(0.0)
+        assert none.leakage_power == pytest.approx(0.0)
 
     def test_width_scaling(self):
         w32 = FunctionalUnit(TECH, FunctionalUnitKind.INT_ALU, width_bits=32)

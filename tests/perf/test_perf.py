@@ -34,7 +34,7 @@ class TestWorkload:
 
     def test_l2_miss_rate_bounded(self):
         wl = SPLASH2_PROFILES["ocean"]
-        assert wl.l2_miss_rate(1.0) == 1.0
+        assert wl.l2_miss_rate(1.0) == pytest.approx(1.0)
         assert 0.0 < wl.l2_miss_rate(1e12) <= 1.0
 
 
@@ -44,8 +44,8 @@ class TestCpiModel:
     def test_perfect_memory_hits_pipeline_bound(self):
         core = CoreConfig(issue_width=2)
         cpi = estimate_cpi(core, self.WL, 0.0, 0.0, 0.0)
-        assert cpi.l1_miss_stall == 0.0
-        assert cpi.l2_miss_stall == 0.0
+        assert cpi.l1_miss_stall == pytest.approx(0.0)
+        assert cpi.l2_miss_stall == pytest.approx(0.0)
         assert cpi.total == pytest.approx(cpi.pipeline)
 
     def test_memory_latency_hurts(self):

@@ -73,7 +73,7 @@ class TestGem5Parser:
 
         path = tmp_path / "stats.txt"
         path.write_text("sim_cycles 10\nsim_cycles 20\n")
-        assert parse_gem5_stats(path)["sim_cycles"] == 20.0
+        assert parse_gem5_stats(path)["sim_cycles"] == pytest.approx(20.0)
 
     def test_missing_file_raises(self, tmp_path):
         from repro.stats_adapter import parse_gem5_stats

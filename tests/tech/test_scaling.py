@@ -8,7 +8,7 @@ from repro.tech.scaling import area_scale, dynamic_energy_scale, frequency_scale
 
 class TestAreaScale:
     def test_identity(self):
-        assert area_scale(65, 65) == 1.0
+        assert area_scale(65, 65) == pytest.approx(1.0)
 
     def test_shrink_is_quadratic(self):
         assert area_scale(90, 45) == pytest.approx(0.25)

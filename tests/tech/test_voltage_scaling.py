@@ -14,7 +14,7 @@ class TestDeviceAtVoltage:
         assert low.i_on < nominal.i_on
         assert low.i_off < nominal.i_off
         assert low.i_gate < nominal.i_gate
-        assert low.vdd == 0.8
+        assert low.vdd == pytest.approx(0.8)
 
     def test_overvolting_increases_drive(self):
         nominal = device_parameters(45, DeviceType.HP)
@@ -45,7 +45,7 @@ class TestDeviceAtVoltage:
 class TestTechnologyAtVoltage:
     def test_override_applied(self):
         tech = Technology(node_nm=45).at_voltage(0.85)
-        assert tech.vdd == 0.85
+        assert tech.vdd == pytest.approx(0.85)
 
     def test_fo4_slows_at_low_voltage(self):
         nominal = Technology(node_nm=45)
@@ -54,7 +54,7 @@ class TestTechnologyAtVoltage:
 
     def test_max_clock_scale(self):
         nominal = Technology(node_nm=45)
-        assert nominal.max_clock_scale == 1.0
+        assert nominal.max_clock_scale == pytest.approx(1.0)
         low = nominal.at_voltage(0.8)
         assert low.max_clock_scale < 1.0
         high = nominal.at_voltage(1.1)

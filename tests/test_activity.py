@@ -35,7 +35,7 @@ class TestCoreActivity:
         peak = CoreActivity.peak(width)
         assert peak.ipc >= 1.0
         assert peak.ipc <= width
-        assert peak.duty_cycle == 1.0
+        assert peak.duty_cycle == pytest.approx(1.0)
 
     def test_peak_rejects_bad_width(self):
         with pytest.raises(ValueError):
@@ -45,7 +45,7 @@ class TestCoreActivity:
 class TestOtherActivities:
     def test_cache_activity_peak(self):
         peak = CacheActivity.peak(banks=4)
-        assert peak.accesses_per_cycle == 4.0
+        assert peak.accesses_per_cycle == pytest.approx(4.0)
 
     def test_cache_activity_validation(self):
         with pytest.raises(ValueError):
@@ -54,13 +54,13 @@ class TestOtherActivities:
             CacheActivity(accesses_per_cycle=1, miss_rate=2.0)
 
     def test_noc_activity(self):
-        assert NocActivity.peak().flits_per_cycle_per_router == 1.0
+        assert NocActivity.peak().flits_per_cycle_per_router == pytest.approx(1.0)
         with pytest.raises(ValueError):
             NocActivity(flits_per_cycle_per_router=-0.1)
 
     def test_mc_activity(self):
         peak = MemoryControllerActivity.peak(channels=2)
-        assert peak.reads_per_cycle == 1.0
+        assert peak.reads_per_cycle == pytest.approx(1.0)
         with pytest.raises(ValueError):
             MemoryControllerActivity(reads_per_cycle=-1)
 

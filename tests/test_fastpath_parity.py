@@ -37,6 +37,10 @@ def test_preset_reports_identical(preset):
     build = presets.VALIDATION_PRESETS[preset]
     with fastpath.disabled():
         exact = Processor(build()).report()
+        exact_again = Processor(build()).report()
+    # Disabled-mode evaluation is deterministic: two exact-path runs of
+    # the same preset must be bit-identical, with no memo involvement.
+    assert exact == exact_again
     fastpath.clear_all()
     cold = Processor(build()).report()
     warm = Processor(build()).report()
@@ -85,8 +89,13 @@ def test_disabled_context_restores_fast_path():
     spec = ArraySpec(name="restore", entries=256, width_bits=64)
     build_array(TECH, spec)
     hits_before = fastpath.stats()["build_array"]["hits"]
+    misses_before = fastpath.stats()["build_array"]["misses"]
     with fastpath.disabled():
-        build_array(TECH, spec)
+        disabled_result = build_array(TECH, spec)
+    # The disabled path bypasses the content-hash memo completely: no
+    # hit, no miss, and a result built fresh (not the shared instance).
     assert fastpath.stats()["build_array"]["hits"] == hits_before
-    build_array(TECH, spec)
-    assert fastpath.stats()["build_array"]["hits"] == hits_before + 1
+    assert fastpath.stats()["build_array"]["misses"] == misses_before
+    assert disabled_result is not build_array(TECH, spec)
+    assert disabled_result == build_array(TECH, spec)
+    assert fastpath.stats()["build_array"]["hits"] == hits_before + 2

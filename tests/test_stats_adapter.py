@@ -55,13 +55,13 @@ class TestCoreAdapter:
     def test_missing_optional_counters_default_to_zero(self):
         activity = core_activity_from_stats(
             {"sim_cycles": 100.0, "committed_insts": 50.0})
-        assert activity.load_fraction == 0.0
-        assert activity.icache_miss_rate == 0.0
+        assert activity.load_fraction == pytest.approx(0.0)
+        assert activity.icache_miss_rate == pytest.approx(0.0)
 
     def test_ratios_clamped(self):
         weird = dict(GOOD, dcache_misses=1e9)  # more misses than accesses
         activity = core_activity_from_stats(weird)
-        assert activity.dcache_miss_rate == 1.0
+        assert activity.dcache_miss_rate == pytest.approx(1.0)
 
     @given(st.floats(min_value=1.0, max_value=1e9),
            st.floats(min_value=0.0, max_value=1e9))

@@ -41,7 +41,7 @@ class TestSerdes:
 class TestNiu:
     def test_zero_ports_empty(self):
         niu = NetworkInterfaceUnit(TECH, NiuConfig(ports=0))
-        assert niu.result(CLOCK).total_area == 0.0
+        assert niu.result(CLOCK).total_area == pytest.approx(0.0)
 
     def test_peak_power_magnitude(self):
         """A dual 10GbE NIU burns a few watts at peak."""
@@ -58,7 +58,7 @@ class TestNiu:
 
     def test_no_stats_zero_runtime(self):
         niu = NetworkInterfaceUnit(TECH, NiuConfig(ports=1))
-        assert niu.result(CLOCK, None).total_runtime_dynamic_power == 0.0
+        assert niu.result(CLOCK, None).total_runtime_dynamic_power == pytest.approx(0.0)
 
     def test_bad_utilization_rejected(self):
         niu = NetworkInterfaceUnit(TECH, NiuConfig(ports=1))
@@ -85,7 +85,7 @@ class TestPcie:
 
     def test_zero_lanes_empty(self):
         pcie = PcieController(TECH, PcieConfig(lanes=0))
-        assert pcie.result(CLOCK).total_area == 0.0
+        assert pcie.result(CLOCK).total_area == pytest.approx(0.0)
 
 
 class TestChipIntegration:

@@ -16,8 +16,8 @@ class TestMemoryController:
     def test_zero_channels_is_empty(self):
         mc = MemoryController(TECH, MemoryControllerConfig(channels=0))
         result = mc.result(CLOCK, MemoryControllerActivity())
-        assert result.total_area == 0.0
-        assert result.total_peak_dynamic_power == 0.0
+        assert result.total_area == pytest.approx(0.0)
+        assert result.total_peak_dynamic_power == pytest.approx(0.0)
 
     def test_tree_structure(self):
         mc = MemoryController(TECH, MemoryControllerConfig(channels=2))

@@ -65,7 +65,7 @@ class TestNetworkAssembly:
         noc = self.make(NocTopology.MESH_2D, n=1)
         assert noc.topology is NocTopology.NONE
         result = noc.result(CLOCK, NocActivity())
-        assert result.total_area == 0.0
+        assert result.total_area == pytest.approx(0.0)
 
     def test_single_endpoint_with_external_ports_has_router(self):
         noc = self.make(NocTopology.RING, n=1, external_ports=4)
