@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify bench lint
+.PHONY: test verify bench lint goldens
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,3 +26,6 @@ verify: lint test
 bench:
 	$(PYTHON) benchmarks/bench_engine.py
 	$(PYTHON) benchmarks/bench_single_eval.py
+
+goldens:
+	$(PYTHON) -m repro.cli validate --update-goldens

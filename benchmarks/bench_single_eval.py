@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 
 from repro import fastpath
+from repro import obs
 from repro.chip import Processor, timing_breakdown
 from repro.config import presets
 
@@ -41,6 +42,51 @@ from repro.config import presets
 #: relaxes it for noisy shared CI runners.
 SPEEDUP_FLOOR = 5.0
 SPEEDUP_FLOOR_SMOKE = 3.0
+
+#: Largest fraction of a cold evaluation that *disabled* instrumentation
+#: may cost. The observability layer is off by default; its presence in
+#: the hot paths has to be free to within noise.
+OBS_OVERHEAD_BUDGET = 0.02
+
+
+def bench_obs_overhead(name: str, t_cold: float) -> dict:
+    """Bound the cost disabled instrumentation adds to one cold eval.
+
+    Overhead can't be measured directly (the span sites are compiled
+    in), so it is bounded synthetically: time one disabled span site in
+    a tight loop, count how many sites one cold evaluation actually
+    crosses (an enabled ``detail=True`` run records exactly one span per
+    crossing), and bound the total as ``events x per-site cost``.
+    """
+    n = 100_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with obs.span("bench.site", detail=True, size=n):
+            pass
+    site_cost_s = (time.perf_counter() - start) / n
+
+    start = time.perf_counter()
+    for _ in range(n):
+        obs.counter_add("bench.site")
+    counter_cost_s = (time.perf_counter() - start) / n
+
+    obs.reset()
+    obs.enable(detail=True)
+    fastpath.clear_all()
+    Processor(presets.VALIDATION_PRESETS[name]()).report()
+    obs.disable()
+    events = len(obs.spans())
+    obs.reset()
+
+    overhead_s = events * max(site_cost_s, counter_cost_s)
+    return {
+        "site_cost_ns": site_cost_s * 1e9,
+        "counter_cost_ns": counter_cost_s * 1e9,
+        "events_per_cold_eval": events,
+        "overhead_bound_s": overhead_s,
+        "overhead_fraction": overhead_s / t_cold if t_cold > 0 else 0.0,
+        "budget_fraction": OBS_OVERHEAD_BUDGET,
+    }
 
 
 def bench_preset(name: str) -> dict:
@@ -108,6 +154,18 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             failed = True
 
+    overhead = bench_obs_overhead(names[0], results[0]["cold_s"])
+    print(f"obs disabled-overhead bound: "
+          f"{overhead['events_per_cold_eval']} sites x "
+          f"{overhead['site_cost_ns']:.0f}ns = "
+          f"{overhead['overhead_fraction']:.3%} of a cold eval "
+          f"(budget {OBS_OVERHEAD_BUDGET:.0%})")
+    if overhead["overhead_fraction"] >= OBS_OVERHEAD_BUDGET:
+        print(f"FAIL: disabled instrumentation overhead "
+              f"{overhead['overhead_fraction']:.2%} exceeds "
+              f"{OBS_OVERHEAD_BUDGET:.0%} budget", file=sys.stderr)
+        failed = True
+
     payload = {
         "benchmark": "single_eval",
         "smoke": args.smoke,
@@ -118,6 +176,7 @@ def main(argv: list[str] | None = None) -> int:
             "cpus": os.cpu_count(),
         },
         "memo_stats": fastpath.stats(),
+        "obs_overhead": overhead,
         "presets": results,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

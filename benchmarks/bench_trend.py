@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Track the single-eval benchmark across CI runs and gate on the floor.
+
+CI restores the benchmark history (a JSONL file, one
+``BENCH_single_eval.json`` payload per line) from the previous run's
+cache, appends the run that just finished, re-uploads the history, and
+fails the job if the new run's worst cold-eval speedup dropped below
+the floor the payload itself declares (``speedup_floor``: 5x for full
+runs, 3x for CI smoke runs on noisy shared runners).
+
+Run::
+
+    python benchmarks/bench_trend.py \
+        --current BENCH_single_eval.json --history bench_history.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: History entries shown in the trend table.
+TREND_WINDOW = 20
+
+
+def load_history(path: Path) -> list[dict]:
+    """Read prior runs, skipping unparseable lines."""
+    runs: list[dict] = []
+    if not path.exists():
+        return runs
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            runs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return runs
+
+
+def worst_speedup(payload: dict) -> float:
+    """Minimum cold-eval speedup across the run's presets."""
+    speedups = [p["cold_speedup"] for p in payload.get("presets", [])]
+    if not speedups:
+        raise SystemExit("benchmark payload has no preset results")
+    return min(speedups)
+
+
+def format_trend(runs: list[dict]) -> str:
+    """Aligned table of the most recent runs' worst speedups."""
+    lines = [f"{'run':>4} {'recorded':>20} {'worst speedup':>14} "
+             f"{'floor':>6} {'smoke':>6}"]
+    window = runs[-TREND_WINDOW:]
+    offset = len(runs) - len(window)
+    for i, run in enumerate(window):
+        stamp = run.get("recorded_at", "-")
+        lines.append(
+            f"{offset + i + 1:>4} {stamp:>20} "
+            f"{worst_speedup(run):>13.1f}x "
+            f"{run.get('speedup_floor', 0.0):>5.1f}x "
+            f"{str(bool(run.get('smoke', False))):>6}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a benchmark run to the trend history and "
+                    "gate on its declared speedup floor",
+    )
+    parser.add_argument("--current", default="BENCH_single_eval.json",
+                        metavar="PATH", help="payload of the run to add")
+    parser.add_argument("--history", default="bench_history.jsonl",
+                        metavar="PATH", help="JSONL history file")
+    args = parser.parse_args(argv)
+
+    current_path = Path(args.current)
+    if not current_path.exists():
+        raise SystemExit(f"no benchmark payload at {current_path}; "
+                         f"run benchmarks/bench_single_eval.py first")
+    payload = json.loads(current_path.read_text())
+    payload["recorded_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime(),
+    )
+
+    history_path = Path(args.history)
+    runs = load_history(history_path)
+    runs.append(payload)
+    with history_path.open("a") as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    print(f"benchmark trend ({len(runs)} run(s) on record):")
+    print(format_trend(runs))
+
+    floor = float(payload.get("speedup_floor", 0.0))
+    worst = worst_speedup(payload)
+    if worst < floor:
+        print(f"FAIL: worst cold-eval speedup {worst:.1f}x is below the "
+              f"{floor:.0f}x floor", file=sys.stderr)
+        return 1
+    print(f"ok: worst cold-eval speedup {worst:.1f}x >= {floor:.0f}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

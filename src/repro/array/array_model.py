@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 from repro import fastpath
+from repro import obs
 from repro.array.bank import Bank
 from repro.array.dff_array import DffArrayModel
 from repro.array.organization import (
@@ -194,7 +195,9 @@ def _build_array_uncached(
     spec: ArraySpec,
     weights: OptimizationWeights,
 ) -> SramArray:
-    if spec.cell_type is CellType.DFF:
-        return _build_dff_array(tech, spec)
-    banks = search_organizations(tech, spec, weights)
-    return _assemble_banks(tech, spec, banks[0])
+    with obs.span("array.build", array=spec.name,
+                  entries=spec.entries, width_bits=spec.width_bits):
+        if spec.cell_type is CellType.DFF:
+            return _build_dff_array(tech, spec)
+        banks = search_organizations(tech, spec, weights)
+        return _assemble_banks(tech, spec, banks[0])

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro import obs
 from repro.activity import (
     CacheActivity,
     CoreActivity,
@@ -207,10 +208,18 @@ class Processor:
                 inside are ``None``, they are derived from the core
                 activity via the L1 miss streams.
         """
+        with obs.span("chip.report", chip=self.config.name):
+            return self._build_report(activity)
+
+    def _build_report(
+        self,
+        activity: SystemActivity | None,
+    ) -> ComponentResult:
         clock = self.config.clock_hz
         core_activity = activity.core if activity else None
 
-        core_result = self.core.result(clock, core_activity)
+        with obs.span("chip.cores"):
+            core_result = self.core.result(clock, core_activity)
         children = [
             ComponentResult(
                 name=f"Cores (x{self.config.n_cores})",
@@ -221,7 +230,10 @@ class Processor:
             little_activity = (
                 activity.little_core if activity is not None else None
             )
-            little_result = self.little_core.result(clock, little_activity)
+            with obs.span("chip.little_cores"):
+                little_result = self.little_core.result(
+                    clock, little_activity
+                )
             children.append(ComponentResult(
                 name=f"Little cores (x{self.config.n_little_cores})",
                 children=(
@@ -236,7 +248,8 @@ class Processor:
             )
         if self.l2 is not None:
             instances = self.config.l2.instances
-            single = self.l2.result(clock, l2_activity)
+            with obs.span("chip.l2"):
+                single = self.l2.result(clock, l2_activity)
             children.append(ComponentResult(
                 name=f"L2 (x{instances})",
                 children=(single.scaled(instances),),
@@ -249,34 +262,43 @@ class Processor:
                     l2_activity or CacheActivity(accesses_per_cycle=0.1)
                 )
             instances = self.config.l3.instances
-            single = self.l3.result(clock, l3_activity)
+            with obs.span("chip.l3"):
+                single = self.l3.result(clock, l3_activity)
             children.append(ComponentResult(
                 name=f"L3 (x{instances})",
                 children=(single.scaled(instances),),
             ))
 
-        children.append(self.noc.result(
-            clock, activity.noc if activity else None
-        ))
-        children.append(self.memory_controller.result(
-            clock, activity.memory_controller if activity else None
-        ))
+        with obs.span("chip.noc"):
+            children.append(self.noc.result(
+                clock, activity.noc if activity else None
+            ))
+        with obs.span("chip.memory_controller"):
+            children.append(self.memory_controller.result(
+                clock, activity.memory_controller if activity else None
+            ))
         if self.niu is not None:
-            children.append(self.niu.result(
-                clock,
-                activity.niu_utilization if activity is not None else None,
-            ))
+            with obs.span("chip.niu"):
+                children.append(self.niu.result(
+                    clock,
+                    activity.niu_utilization
+                    if activity is not None else None,
+                ))
         if self.pcie is not None:
-            children.append(self.pcie.result(
+            with obs.span("chip.pcie"):
+                children.append(self.pcie.result(
+                    clock,
+                    activity.pcie_utilization
+                    if activity is not None else None,
+                ))
+        with obs.span("chip.clock_network"):
+            children.append(self.clock_network.result(
                 clock,
-                activity.pcie_utilization if activity is not None else None,
+                duty_cycle=(
+                    activity.core.duty_cycle
+                    if activity is not None else None
+                ),
             ))
-        children.append(self.clock_network.result(
-            clock,
-            duty_cycle=(
-                activity.core.duty_cycle if activity is not None else None
-            ),
-        ))
 
         modeled_area = sum(c.total_area for c in children)
         io_fraction = self.config.io_area_fraction

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.chip.processor import Processor
 
 
@@ -28,9 +29,10 @@ def timing_breakdown(processor: Processor) -> dict[str, float]:
     times: dict[str, float] = {}
 
     def timed(label: str, build) -> None:
-        start = time.perf_counter()
-        build()
-        times[label] = time.perf_counter() - start
+        with obs.span(f"profile.{label}", category="profile"):
+            start = time.perf_counter()
+            build()
+            times[label] = time.perf_counter() - start
 
     core = processor.core
     timed("core.ifu", lambda: core.ifu.result(clock))

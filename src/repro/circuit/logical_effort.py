@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro import obs
 from repro.circuit.gates import Gate, GateKind
 from repro.tech import Technology
 
@@ -78,15 +79,22 @@ class BufferChain:
 
     @cached_property
     def stages(self) -> tuple[Gate, ...]:
-        """The sized gates, input to output."""
-        return tuple(
-            Gate(
-                self.tech,
-                GateKind.INV,
-                size=self.input_size * self.stage_effort**i,
+        """The sized gates, input to output.
+
+        Solved once per chain instance; traced as a *detail* span (these
+        fire thousands of times per cold evaluation, so they are only
+        recorded under ``obs.enable(detail=True)``).
+        """
+        with obs.span("circuit.logical_effort.solve", detail=True,
+                      stages=self.stage_count):
+            return tuple(
+                Gate(
+                    self.tech,
+                    GateKind.INV,
+                    size=self.input_size * self.stage_effort**i,
+                )
+                for i in range(self.stage_count)
             )
-            for i in range(self.stage_count)
-        )
 
     @property
     def input_capacitance(self) -> float:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro import fastpath
+from repro import obs
 from repro.circuit.gates import DELAY_DERATE, Gate, GateKind
 from repro.tech import Technology
 from repro.tech.wire import WireParameters, WireType
@@ -135,6 +136,12 @@ class RepeatedWire:
         return _OPTIMUM_MEMO.get_or_compute(key, self._solve_optimum)
 
     def _solve_optimum(self) -> tuple[float, float, float]:
+        with obs.span("circuit.repeater.solve",
+                      plane=self.wire_type.name,
+                      penalty=self.delay_penalty):
+            return self._solve_optimum_traced()
+
+    def _solve_optimum_traced(self) -> tuple[float, float, float]:
         size_window, spacing_window = self._grid_window()
         # Evaluated delay-per-length by grid index; the energy back-off
         # pass below extends and reuses this instead of re-solving.

@@ -9,8 +9,15 @@ Subcommands mirror how the original tool is used:
 * ``clustering`` — the 22 nm manycore clustering case study.
 * ``sweep`` — batch-evaluate a parameter grid over a base config on the
   parallel, cached evaluation engine.
+* ``stats`` — evaluate a config with instrumentation on and print the
+  observability metrics table (cache/memo hit rates, pool throughput).
 * ``lint`` — run the model-invariant static-analysis suite
   (:mod:`repro.analysis`) over source trees.
+
+Observability flags: ``report --trace out.json`` writes a Chrome
+``trace_event`` file (``.jsonl`` suffix switches to JSONL spans), and
+``sweep --profile`` prints a per-component span-time breakdown plus the
+engine metrics for the whole sweep.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.chip import Processor, format_report
@@ -45,8 +53,23 @@ def _resolve_config(source: str):
     )
 
 
+def _write_trace(path: str) -> None:
+    """Export the recorded spans; ``.jsonl`` selects JSONL, else Chrome."""
+    from repro import obs
+
+    if path.endswith(".jsonl"):
+        obs.write_jsonl(path)
+    else:
+        obs.write_chrome_trace(path)
+    print(f"\ntrace: {len(obs.spans())} spans -> {path}")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     config = _resolve_config(args.config)
+    if args.trace:
+        from repro import obs
+
+        obs.enable(detail=args.trace_detail)
     processor = Processor(config)
     if args.timing_breakdown:
         from repro.chip import format_timing_breakdown, timing_breakdown
@@ -67,13 +90,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"Area = {processor.area * 1e6:.1f} mm^2")
     for name, cycles in processor.timing_summary().items():
         print(f"{name:<22} = {cycles:.2f} cycles")
+    if args.trace:
+        _write_trace(args.trace)
     return 0
 
 
-def _cmd_validate(_: argparse.Namespace) -> int:
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.update_goldens:
+        from repro.goldens import write_goldens
+
+        written = write_goldens()
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    if args.against_goldens:
+        from repro.goldens import compare_to_goldens, format_golden_diffs
+
+        try:
+            diffs = compare_to_goldens()
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(format_golden_diffs(diffs))
+        return 0 if not diffs else 1
+
     from repro.experiments import format_validation_table, run_validation
 
     print(format_validation_table(run_validation()))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Evaluate one config with instrumentation on; print the metrics."""
+    from repro import obs
+    from repro.engine import EvalCache, evaluate_many
+
+    config = _resolve_config(args.config)
+    obs.enable()
+    cache = EvalCache()
+    repeat = max(1, args.repeat)
+    snap = None
+    for _ in range(repeat):
+        _, snap = evaluate_many(
+            [config], jobs=args.jobs, cache=cache, with_metrics=True,
+        )
+    obs.disable()
+    print(f"metrics for {repeat} evaluation(s) of {config.name}:\n")
+    print(obs.format_metrics_table(snap))
+    if args.trace:
+        _write_trace(args.trace)
     return 0
 
 
@@ -168,7 +232,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         workload = SPLASH2_PROFILES[args.workload]
 
+    if args.profile:
+        from repro import obs
+
+        obs.enable()
     cache = EvalCache(path=args.cache) if args.cache else None
+    start_s = time.perf_counter()
     results = run_sweep(
         spec,
         workload=workload,
@@ -176,11 +245,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         **({"cache": cache} if cache is not None else {}),
         checkpoint_path=args.checkpoint,
     )
+    wall_s = time.perf_counter() - start_s
     print(f"{spec.n_points}-point sweep of {base.name}")
     print(format_sweep_table(results))
     if cache is not None:
         print(f"\ncache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.path})")
+    if args.profile:
+        from repro import obs
+        from repro.engine import DEFAULT_CACHE, metrics_snapshot
+
+        obs.disable()
+        if cache is None:
+            cache = DEFAULT_CACHE  # what run_sweep actually used
+        print("\nSpan timing by component:")
+        print(obs.format_profile(
+            obs.profile(), wall_s=wall_s, covered_s=obs.root_total_s(),
+        ))
+        print("\nEngine metrics:")
+        print(obs.format_metrics_table(metrics_snapshot(cache)))
+        if args.trace:
+            _write_trace(args.trace)
     return 0
 
 
@@ -213,10 +298,43 @@ def main(argv: list[str] | None = None) -> int:
         "--timing-breakdown", action="store_true",
         help="also print per-component model-build wall time",
     )
+    report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record trace spans and write them to PATH "
+             "(Chrome trace_event JSON; a .jsonl suffix writes "
+             "one span per line instead)",
+    )
+    report.add_argument(
+        "--trace-detail", action="store_true",
+        help="also record high-frequency solver spans (large traces)",
+    )
     report.set_defaults(func=_cmd_report)
 
     validate = sub.add_parser("validate", help="published-vs-modeled tables")
+    validate.add_argument(
+        "--against-goldens", action="store_true",
+        help="compare fresh reports to the checked-in golden JSON "
+             "reports (tests/goldens/); non-zero exit on mismatch",
+    )
+    validate.add_argument(
+        "--update-goldens", action="store_true",
+        help="regenerate the golden JSON reports in place",
+    )
     validate.set_defaults(func=_cmd_validate)
+
+    stats = sub.add_parser(
+        "stats",
+        help="evaluate with instrumentation on, print the metrics table",
+    )
+    stats.add_argument("config", help="preset name or config JSON path")
+    stats.add_argument("--repeat", type=int, default=2,
+                       help="evaluations to run (default 2; the second "
+                            "exercises the result cache)")
+    stats.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1)")
+    stats.add_argument("--trace", default=None, metavar="PATH",
+                       help="also write the recorded spans to PATH")
+    stats.set_defaults(func=_cmd_stats)
 
     scaling = sub.add_parser("scaling", help="technology scaling sweep")
     scaling.add_argument("--jobs", type=int, default=1,
@@ -260,6 +378,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="persistent JSONL result cache")
     sweep.add_argument("--checkpoint", default=None, metavar="PATH",
                        help="JSONL checkpoint for resume-after-interrupt")
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="trace the sweep and print per-component span timings "
+             "plus engine metrics (cache/memo hit rates, throughput)",
+    )
+    sweep.add_argument("--trace", default=None, metavar="PATH",
+                       help="with --profile: also write the spans to PATH")
     sweep.set_defaults(func=_cmd_sweep)
 
     lint = sub.add_parser(

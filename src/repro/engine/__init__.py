@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.config.schema import SystemConfig
 from repro.engine.cache import (
     CACHE_SCHEMA_VERSION,
@@ -60,13 +61,34 @@ from repro.perf.workload import Workload
 _RUNTIME_OBJECTIVES = frozenset({"runtime", "energy", "edp", "ed2p"})
 
 
+def metrics_snapshot(
+    cache: EvalCache | None = None,
+) -> "obs.MetricsSnapshot":
+    """Current engine observability state as a metrics snapshot.
+
+    Combines the process-wide registry (pool counters, merged worker
+    deltas), the fast-path memo collectors, and — when given — the
+    counters of one :class:`EvalCache`.
+    """
+    extra = None
+    if cache is not None:
+        extra = {
+            "engine.cache.hits": float(cache.hits),
+            "engine.cache.misses": float(cache.misses),
+            "engine.cache.evictions": float(cache.evictions),
+            "engine.cache.entries": float(len(cache)),
+        }
+    return obs.snapshot(extra_counters=extra)
+
+
 def evaluate_many(
     configs: Sequence[SystemConfig] | Iterable[SystemConfig],
     objective: "object | None" = None,
     workload: Workload | None = None,
     jobs: int = 1,
     cache: EvalCache | None = DEFAULT_CACHE,
-) -> list[EvalRecord]:
+    with_metrics: bool = False,
+) -> "list[EvalRecord] | tuple[list[EvalRecord], obs.MetricsSnapshot]":
     """Evaluate many configurations through the cache and worker pool.
 
     Args:
@@ -79,11 +101,16 @@ def evaluate_many(
         jobs: Worker processes (``1`` = serial, in-process).
         cache: Result cache. Defaults to the process-wide shared cache;
             pass ``None`` to force fresh evaluation.
+        with_metrics: Also return a
+            :class:`~repro.obs.MetricsSnapshot` of the evaluation stack
+            (cache hit rates, memo counters, pool throughput) taken
+            after the batch completes — ``(records, snapshot)``.
 
     Returns:
         One :class:`EvalRecord` per config, in input order. Records for
         configs already cached (or repeated within the batch) are
-        computed once; ``record.from_cache`` tells which.
+        computed once; ``record.from_cache`` tells which. With
+        ``with_metrics=True``, a ``(records, snapshot)`` tuple instead.
 
     Raises:
         ValueError: If ``configs`` is empty, or a runtime objective is
@@ -125,7 +152,10 @@ def evaluate_many(
             if cache is not None:
                 cache.put(key, record)
 
-    return [records[key] for key in keys]
+    ordered = [records[key] for key in keys]
+    if with_metrics:
+        return ordered, metrics_snapshot(cache)
+    return ordered
 
 
 __all__ = [
@@ -144,5 +174,6 @@ __all__ = [
     "evaluate_payloads",
     "fork_available",
     "format_sweep_table",
+    "metrics_snapshot",
     "run_sweep",
 ]

@@ -58,6 +58,7 @@ class EvalCache:
     Attributes:
         hits: Number of successful lookups.
         misses: Number of failed lookups.
+        evictions: In-memory entries dropped by the LRU policy.
     """
 
     def __init__(
@@ -71,6 +72,7 @@ class EvalCache:
         self.path = Path(path) if path is not None else None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._records: OrderedDict[str, EvalRecord] = OrderedDict()
         if self.path is not None and self.path.exists():
             self._load()
@@ -95,6 +97,7 @@ class EvalCache:
     def _evict(self) -> None:
         while len(self._records) > self.max_entries:
             self._records.popitem(last=False)
+            self.evictions += 1
 
     def get(self, key: str) -> EvalRecord | None:
         """Look up a record; cached results come back ``from_cache=True``."""
@@ -127,6 +130,7 @@ class EvalCache:
         self._records.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._records)

@@ -6,18 +6,31 @@ contiguous chunks (several per worker, to balance uneven evaluation
 costs) and submitted to a fork-context process pool. Any chunk whose
 worker fails — including a hard crash that breaks the pool — is re-run
 serially in the parent, so a flaky worker degrades throughput instead of
-losing results. Platforms without ``fork`` (and ``jobs=1``) fall back to
-a plain serial loop.
+losing results; if the serial recovery fails too, the raised error
+carries the original worker failure text so no traceback is silently
+dropped. Platforms without ``fork`` (and ``jobs=1``) fall back to a
+plain serial loop.
+
+When :mod:`repro.obs` is active, each worker accumulates trace spans
+and metric deltas locally (its registry is reset per chunk) and ships
+them back with its records; the parent merges them at join, so a traced
+parallel run produces one coherent timeline and one combined metrics
+snapshot.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import fastpath
+from repro import obs
 from repro.config.schema import SystemConfig
 from repro.engine.record import EvalRecord, evaluate_config
+from repro.obs import runtime as _obs_runtime
 from repro.perf.workload import Workload
 
 #: One payload: (cache key, config, workload-or-None).
@@ -45,6 +58,40 @@ def _evaluate_chunk(chunk: list[Payload]) -> list[EvalRecord]:
     ]
 
 
+def _memo_totals() -> dict[str, float]:
+    """Flat memo counters, for before/after deltas across a chunk."""
+    out: dict[str, float] = {}
+    for name, counts in fastpath.stats().items():
+        for field in ("hits", "misses", "evictions"):
+            out[f"memo.{name}.{field}"] = float(counts[field])
+    return out
+
+
+def _evaluate_chunk_instrumented(
+    chunk: list[Payload],
+) -> tuple[list[EvalRecord], obs.MetricsSnapshot, tuple[obs.Span, ...]]:
+    """Worker-side chunk evaluation that ships observability home.
+
+    The worker's registry and span buffer are reset at chunk start, so
+    what ships back is exactly this chunk's contribution. Memo counters
+    persist across chunks (clearing them would kill the fast path), so
+    their contribution is shipped as a before/after delta folded into
+    the metric counters.
+    """
+    obs.reset()
+    before = _memo_totals()
+    start_s = time.perf_counter()
+    records = _evaluate_chunk(chunk)
+    obs.observe("pool.chunk_s", time.perf_counter() - start_s)
+    after = _memo_totals()
+    delta = obs.export_state()
+    for name, total in after.items():
+        moved = total - before.get(name, 0.0)
+        if moved:
+            delta.counters[name] = delta.counters.get(name, 0.0) + moved
+    return records, delta, obs.spans()
+
+
 def split_chunks(payloads: list[Payload], jobs: int) -> list[list[Payload]]:
     """Split payloads into contiguous, near-equal chunks."""
     n_chunks = min(len(payloads), max(1, jobs) * _CHUNKS_PER_WORKER)
@@ -58,6 +105,20 @@ def split_chunks(payloads: list[Payload], jobs: int) -> list[list[Payload]]:
     return chunks
 
 
+class WorkerRecoveryError(RuntimeError):
+    """A chunk failed in a worker *and* during serial recovery.
+
+    The message carries the original worker failure text (which the
+    recovery attempt would otherwise discard) and the recovery failure
+    is chained as ``__cause__``.
+    """
+
+
+def _format_failure(exc: BaseException) -> str:
+    """One-line ``Type: message`` form of an exception."""
+    return "".join(traceback.format_exception_only(exc)).strip()
+
+
 def evaluate_payloads(
     payloads: list[Payload],
     jobs: int = 1,
@@ -68,28 +129,70 @@ def evaluate_payloads(
     computed them, and are bitwise-identical to a serial run (each
     evaluation is a pure function). With ``jobs <= 1``, a single payload,
     or no ``fork`` support, the loop runs serially in-process.
+
+    Raises:
+        WorkerRecoveryError: When a chunk fails in its worker and the
+            serial recovery attempt fails as well; the message preserves
+            the original worker exception text.
     """
+    start_s = time.perf_counter()
+    obs.counter_add("pool.tasks", float(len(payloads)))
     if jobs <= 1 or len(payloads) <= 1 or not fork_available():
         return _evaluate_chunk(payloads)
 
     jobs = min(jobs, len(payloads))
     chunks = split_chunks(payloads, jobs)
+    obs.counter_add("pool.chunks", float(len(chunks)))
+    obs.gauge_set("pool.queue_depth", float(len(chunks)))
+    instrumented = _obs_runtime.ACTIVE
     context = multiprocessing.get_context("fork")
     try:
         with ProcessPoolExecutor(
             max_workers=jobs, mp_context=context,
         ) as pool:
-            futures = [pool.submit(_evaluate_chunk, c) for c in chunks]
+            worker = (
+                _evaluate_chunk_instrumented if instrumented
+                else _evaluate_chunk
+            )
+            futures = [pool.submit(worker, c) for c in chunks]
             records: list[EvalRecord] = []
             for chunk, future in zip(chunks, futures):
                 try:
-                    records.extend(future.result())
-                except Exception:
-                    # Worker died or errored: recover this chunk serially.
-                    # Deterministic evaluation errors re-raise here with a
-                    # clean parent-process traceback.
-                    records.extend(_evaluate_chunk(chunk))
+                    result = future.result()
+                except Exception as exc:
+                    # Worker died or errored. Recover this chunk
+                    # serially; keep the worker's own failure text so it
+                    # is never silently dropped.
+                    obs.counter_add("pool.worker_recoveries")
+                    worker_failure = _format_failure(exc)
+                    try:
+                        records.extend(_evaluate_chunk(chunk))
+                    except Exception as retry_exc:
+                        raise WorkerRecoveryError(
+                            f"chunk of {len(chunk)} evaluation(s) failed "
+                            f"in a worker and again during serial "
+                            f"recovery; original worker failure: "
+                            f"{worker_failure}"
+                        ) from retry_exc
+                else:
+                    if instrumented:
+                        chunk_records, delta, spans = result
+                        records.extend(chunk_records)
+                        obs.absorb(delta)
+                        obs.merge(spans, parent_id=obs.current_span_id())
+                    else:
+                        records.extend(result)
+                obs.gauge_set(
+                    "pool.queue_depth",
+                    float(sum(1 for f in futures if not f.done())),
+                )
+            elapsed_s = time.perf_counter() - start_s
+            if elapsed_s > 0:
+                obs.gauge_set(
+                    "pool.tasks_per_s", len(payloads) / elapsed_s,
+                )
             return records
     except OSError:
         # Pool creation itself failed (sandbox, fd limits, ...).
+        obs.counter_add("pool.fallbacks_serial")
         return _evaluate_chunk(payloads)

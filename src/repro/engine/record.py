@@ -103,33 +103,39 @@ def evaluate_config(
 
     This is the single evaluation the engine fans out; it runs inside
     worker processes, so it imports nothing process-global and returns
-    plain data.
+    plain data. The whole evaluation runs under an ``engine.evaluate``
+    trace span (the root of the per-evaluation span tree).
     """
+    from repro import obs
     from repro.chip import Processor
 
-    processor = Processor(config)
-    core_result = processor.core.result(config.clock_hz, None)
+    with obs.span("engine.evaluate", category="engine", config=config.name):
+        processor = Processor(config)
+        core_result = processor.core.result(config.clock_hz, None)
 
-    runtime_s = power_w = throughput_ips = None
-    if workload is not None:
-        from repro.perf import MulticoreSimulator
+        runtime_s = power_w = throughput_ips = None
+        if workload is not None:
+            from repro.perf import MulticoreSimulator
 
-        sim = MulticoreSimulator(processor).run(workload)
-        runtime_s = sim.runtime_s
-        throughput_ips = sim.throughput_ips
-        power_w = processor.report(sim.activity).total_runtime_power
+            with obs.span("engine.workload_sim", category="engine"):
+                sim = MulticoreSimulator(processor).run(workload)
+                runtime_s = sim.runtime_s
+                throughput_ips = sim.throughput_ips
+                power_w = processor.report(
+                    sim.activity
+                ).total_runtime_power
 
-    return EvalRecord(
-        name=config.name,
-        key=key,
-        area_mm2=processor.area * 1e6,
-        tdp_w=processor.tdp,
-        peak_dynamic_w=processor.peak_dynamic_power,
-        leakage_w=processor.leakage_power,
-        core_area_mm2=core_result.total_area * 1e6,
-        core_peak_dynamic_w=core_result.total_peak_dynamic_power,
-        core_leakage_w=core_result.total_leakage_power,
-        runtime_s=runtime_s,
-        power_w=power_w,
-        throughput_ips=throughput_ips,
-    )
+        return EvalRecord(
+            name=config.name,
+            key=key,
+            area_mm2=processor.area * 1e6,
+            tdp_w=processor.tdp,
+            peak_dynamic_w=processor.peak_dynamic_power,
+            leakage_w=processor.leakage_power,
+            core_area_mm2=core_result.total_area * 1e6,
+            core_peak_dynamic_w=core_result.total_peak_dynamic_power,
+            core_leakage_w=core_result.total_leakage_power,
+            runtime_s=runtime_s,
+            power_w=power_w,
+            throughput_ips=throughput_ips,
+        )

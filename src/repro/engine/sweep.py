@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.config.loader import (
     system_config_from_dict,
     system_config_to_dict,
@@ -216,28 +217,32 @@ def run_sweep(
         else:
             pending.append(i)
 
-    for start in range(0, len(pending), checkpoint_every):
-        batch = pending[start:start + checkpoint_every]
-        fresh = evaluate_many(
-            [points[i].config for i in batch],
-            workload=workload,
-            jobs=jobs,
-            cache=cache,
-        )
-        lines = []
-        for i, record in zip(batch, fresh):
-            records[keys[i]] = record
-            lines.append(json.dumps(
-                {
-                    "key": keys[i],
-                    "overrides": points[i].overrides,
-                    "record": record.to_dict(),
-                },
-                sort_keys=True,
-            ))
-        if checkpoint is not None and lines:
-            with checkpoint.open("a") as handle:
-                handle.write("\n".join(lines) + "\n")
+    with obs.span(
+        "engine.run_sweep", category="engine",
+        points=len(points), pending=len(pending), jobs=jobs,
+    ):
+        for start in range(0, len(pending), checkpoint_every):
+            batch = pending[start:start + checkpoint_every]
+            fresh = evaluate_many(
+                [points[i].config for i in batch],
+                workload=workload,
+                jobs=jobs,
+                cache=cache,
+            )
+            lines = []
+            for i, record in zip(batch, fresh):
+                records[keys[i]] = record
+                lines.append(json.dumps(
+                    {
+                        "key": keys[i],
+                        "overrides": points[i].overrides,
+                        "record": record.to_dict(),
+                    },
+                    sort_keys=True,
+                ))
+            if checkpoint is not None and lines:
+                with checkpoint.open("a") as handle:
+                    handle.write("\n".join(lines) + "\n")
 
     return [
         SweepPointResult(

@@ -34,6 +34,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, TypeVar, cast
 
+from repro.obs import metrics as _obs_metrics
+
 T = TypeVar("T")
 
 _enabled: bool = True
@@ -75,6 +77,7 @@ class Memo:
     Attributes:
         hits: Successful lookups.
         misses: Lookups that had to compute.
+        evictions: Entries dropped to stay within ``max_entries``.
     """
 
     def __init__(self, name: str, max_entries: int = 1024) -> None:
@@ -84,6 +87,7 @@ class Memo:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[Any, Any] = OrderedDict()
         _REGISTRY.append(self)
 
@@ -108,6 +112,7 @@ class Memo:
         self._entries[key] = value
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return value
 
     def clear(self) -> None:
@@ -115,6 +120,7 @@ class Memo:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -127,15 +133,35 @@ def clear_all() -> None:
 
 
 def stats() -> dict[str, dict[str, int]]:
-    """Per-memo hit/miss/size counters, keyed by memo name."""
+    """Per-memo hit/miss/eviction/size counters, keyed by memo name."""
     return {
         memo.name: {
             "hits": memo.hits,
             "misses": memo.misses,
+            "evictions": memo.evictions,
             "entries": len(memo),
         }
         for memo in _REGISTRY
     }
+
+
+def _obs_collect() -> dict[str, float]:
+    """Memo counters in the flat form the metrics registry snapshots.
+
+    Registered as a pull-side collector so the memo hot path carries no
+    instrumentation at all — the registry reads these counters (which
+    the memos keep anyway) only when a snapshot is taken.
+    """
+    out: dict[str, float] = {}
+    for memo in _REGISTRY:
+        out[f"memo.{memo.name}.hits"] = float(memo.hits)
+        out[f"memo.{memo.name}.misses"] = float(memo.misses)
+        out[f"memo.{memo.name}.evictions"] = float(memo.evictions)
+        out[f"memo.{memo.name}.entries"] = float(len(memo))
+    return out
+
+
+_obs_metrics.register_collector("fastpath.memos", _obs_collect)
 
 
 def stable_hash(payload: Any) -> str:

@@ -1,0 +1,244 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Three metric kinds cover everything the evaluation stack reports:
+
+* **counters** — monotonically increasing event counts (cache hits,
+  tasks evaluated, worker recoveries). Merging sums them.
+* **gauges** — last-written level samples (queue depth, tasks/sec).
+  Merging keeps the later write.
+* **histograms** — count/sum/min/max summaries of observed values
+  (per-chunk wall times). Merging combines the summaries.
+
+Updates are guarded by :data:`repro.obs.runtime.ACTIVE`, so while
+instrumentation is off every update function is one flag read and a
+return. *Collectors* are the pull side: modules that already keep their
+own counters (:mod:`repro.fastpath` memos) register a callback that is
+drained into the snapshot at :func:`snapshot` time — zero overhead on
+their hot paths, on or off.
+
+Worker processes forked by the engine accumulate into their own copy of
+the registry; :func:`export_state` / :func:`absorb` ship the per-worker
+deltas back to the parent at join (see :mod:`repro.engine.pool`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.obs import runtime
+
+
+class _HistogramState:
+    """Mutable count/sum/min/max accumulator for one histogram."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+_COUNTERS: dict[str, float] = {}
+_GAUGES: dict[str, float] = {}
+_HISTOGRAMS: dict[str, _HistogramState] = {}
+
+#: Pull-side callbacks: name -> fn() returning counter values to fold
+#: into snapshots. Survives :func:`reset` (collectors describe *where*
+#: numbers live, not the numbers themselves).
+_COLLECTORS: dict[str, Callable[[], dict[str, float]]] = {}
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    """Increment a counter (no-op while instrumentation is off)."""
+    if not runtime.ACTIVE:
+        return
+    _COUNTERS[name] = _COUNTERS.get(name, 0.0) + value
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Record a level sample (no-op while instrumentation is off)."""
+    if not runtime.ACTIVE:
+        return
+    _GAUGES[name] = value
+
+
+def observe(name: str, value: float) -> None:
+    """Add one observation to a histogram (no-op while off)."""
+    if not runtime.ACTIVE:
+        return
+    state = _HISTOGRAMS.get(name)
+    if state is None:
+        state = _HISTOGRAMS[name] = _HistogramState()
+    state.observe(value)
+
+
+def register_collector(
+    name: str, collect: Callable[[], dict[str, float]],
+) -> None:
+    """Register a pull-side counter source, drained at snapshot time.
+
+    Re-registering a name replaces the previous callback (idempotent
+    module imports).
+    """
+    _COLLECTORS[name] = collect
+
+
+def reset() -> None:
+    """Drop all recorded values; registered collectors are kept."""
+    _COUNTERS.clear()
+    _GAUGES.clear()
+    _HISTOGRAMS.clear()
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable copy of the registry at one point in time.
+
+    Counter values include everything registered collectors report at
+    snapshot time (e.g. ``memo.<name>.hits`` from the fast-path memos,
+    which count for the life of the process), plus any worker deltas
+    absorbed at pool joins.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def counter(self, name: str) -> float:
+        """A counter's value (0.0 when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def hit_rate(self, prefix: str) -> float | None:
+        """Hit rate of a ``<prefix>.hits`` / ``<prefix>.misses`` pair,
+        or None when the pair never fired."""
+        hits = self.counters.get(f"{prefix}.hits")
+        misses = self.counters.get(f"{prefix}.misses")
+        if hits is None and misses is None:
+            return None
+        total = (hits or 0.0) + (misses or 0.0)
+        return (hits or 0.0) / total if total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+
+def snapshot(
+    extra_counters: Mapping[str, float] | None = None,
+) -> MetricsSnapshot:
+    """Copy the registry, folding in collectors and optional extras.
+
+    Unlike the update functions this works whether or not
+    instrumentation is active — collectors read counters their owners
+    maintain anyway, so a snapshot is always meaningful.
+    """
+    counters = dict(_COUNTERS)
+    for collect in _COLLECTORS.values():
+        for name, value in collect().items():
+            counters[name] = counters.get(name, 0.0) + value
+    if extra_counters:
+        for name, value in extra_counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+    return MetricsSnapshot(
+        counters=counters,
+        gauges=dict(_GAUGES),
+        histograms={k: v.to_dict() for k, v in _HISTOGRAMS.items()},
+    )
+
+
+def export_state() -> MetricsSnapshot:
+    """The raw registry (no collectors) — what a worker ships back."""
+    return MetricsSnapshot(
+        counters=dict(_COUNTERS),
+        gauges=dict(_GAUGES),
+        histograms={k: v.to_dict() for k, v in _HISTOGRAMS.items()},
+    )
+
+
+def absorb(delta: MetricsSnapshot) -> None:
+    """Fold a worker's exported state into this process's registry.
+
+    Counters add; gauges take the worker's sample; histograms combine
+    their summaries.
+    """
+    for name, value in delta.counters.items():
+        _COUNTERS[name] = _COUNTERS.get(name, 0.0) + value
+    _GAUGES.update(delta.gauges)
+    for name, summary in delta.histograms.items():
+        state = _HISTOGRAMS.get(name)
+        if state is None:
+            state = _HISTOGRAMS[name] = _HistogramState()
+        count = int(summary.get("count", 0.0))
+        if count <= 0:
+            continue
+        state.count += count
+        state.total += summary.get("sum", 0.0)
+        state.minimum = min(state.minimum, summary.get("min", state.minimum))
+        state.maximum = max(state.maximum, summary.get("max", state.maximum))
+
+
+def format_metrics_table(snap: MetricsSnapshot) -> str:
+    """Render a snapshot as aligned name/value tables.
+
+    Hit/miss counter pairs get a derived ``... hit rate`` line so cache
+    effectiveness reads directly off the table.
+    """
+    lines: list[str] = []
+    if snap.counters:
+        width = max(len(n) for n in snap.counters)
+        lines.append(f"{'counter':<{width}} {'value':>14}")
+        rate_prefixes = []
+        for name in sorted(snap.counters):
+            lines.append(f"{name:<{width}} {snap.counters[name]:>14.0f}")
+            if name.endswith(".hits"):
+                rate_prefixes.append(name[: -len(".hits")])
+        for prefix in rate_prefixes:
+            rate = snap.hit_rate(prefix)
+            if rate is not None:
+                lines.append(f"{prefix + ' hit rate':<{width}} "
+                             f"{rate:>14.1%}")
+    if snap.gauges:
+        if lines:
+            lines.append("")
+        width = max(len(n) for n in snap.gauges)
+        lines.append(f"{'gauge':<{width}} {'value':>14}")
+        for name in sorted(snap.gauges):
+            lines.append(f"{name:<{width}} {snap.gauges[name]:>14.3f}")
+    if snap.histograms:
+        if lines:
+            lines.append("")
+        width = max(len(n) for n in snap.histograms)
+        lines.append(f"{'histogram':<{width}} {'count':>8} {'mean':>12} "
+                     f"{'min':>12} {'max':>12}")
+        for name in sorted(snap.histograms):
+            h = snap.histograms[name]
+            count = h.get("count", 0.0)
+            mean = h.get("sum", 0.0) / count if count else 0.0
+            lines.append(
+                f"{name:<{width}} {count:>8.0f} {mean:>12.6f} "
+                f"{h.get('min', 0.0):>12.6f} {h.get('max', 0.0):>12.6f}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,55 @@
+"""The single switch guarding every instrumentation site.
+
+Observability is off by default and must stay near-free when off: every
+hot call site in the model guards itself with one read of
+:data:`ACTIVE` (a module-level bool) before doing any work — no string
+formatting, no allocation, no clock read. :func:`enable` /
+:func:`disable` flip that flag (and the optional :data:`DETAIL` flag
+for high-frequency solver spans) for the whole process; forked workers
+inherit the state of the parent at pool-creation time.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+any layer — including :mod:`repro.fastpath`, which everything else
+imports — can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+#: THE flag. All tracing and metrics collection is dead code while this
+#: is False; sites read it directly (``if runtime.ACTIVE:``) so the
+#: disabled cost is one module-attribute load and a branch.
+ACTIVE: bool = False
+
+#: Secondary flag: record high-frequency *detail* spans (per-solver
+#: invocations such as logical-effort chains). Only consulted when
+#: :data:`ACTIVE` is already true.
+DETAIL: bool = False
+
+
+def active() -> bool:
+    """Whether instrumentation (tracing + metrics) is collecting."""
+    return ACTIVE
+
+
+def detail() -> bool:
+    """Whether high-frequency detail spans are being recorded."""
+    return ACTIVE and DETAIL
+
+
+def enable(detail: bool = False) -> None:
+    """Turn instrumentation on for this process.
+
+    Args:
+        detail: Also record high-frequency solver spans (bigger traces,
+            more overhead; useful for deep dives into one evaluation).
+    """
+    global ACTIVE, DETAIL
+    ACTIVE = True
+    DETAIL = detail
+
+
+def disable() -> None:
+    """Turn instrumentation off (the default state)."""
+    global ACTIVE, DETAIL
+    ACTIVE = False
+    DETAIL = False

@@ -1,0 +1,426 @@
+"""Hierarchical trace spans with JSONL and Chrome ``trace_event`` export.
+
+A *span* is one timed region of work — building an array, solving a
+repeater design point, evaluating a whole chip. Spans nest: entering a
+span while another is open records the parent/child edge, so a trace is
+a forest whose roots are the top-level operations and whose leaves are
+the innermost solver calls.
+
+The API is a context manager and a decorator::
+
+    from repro.obs import span, traced
+
+    with span("array.build", array=spec.name):
+        ...
+
+    @traced("engine.evaluate")
+    def evaluate_config(...): ...
+
+While :mod:`repro.obs.runtime` is inactive, :func:`span` returns a
+shared no-op context manager — the disabled cost is one flag read, one
+call, and one branch. Timing uses ``time.perf_counter`` (monotonic,
+system-wide on Linux, so spans recorded in forked workers share the
+parent's clock base and merge cleanly).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, TypeVar
+
+from repro.obs import runtime
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished timed region.
+
+    Attributes:
+        span_id: Process-unique id (re-numbered when merged across
+            processes).
+        parent_id: Enclosing span's id, or None for a root span.
+        name: What was being done (dotted, e.g. ``circuit.repeater.solve``).
+        category: Coarse grouping for trace viewers (``model``,
+            ``engine``, ...).
+        start_s: ``time.perf_counter`` timestamp at entry.
+        duration_s: Wall time from entry to exit.
+        pid: OS process id the span was recorded in.
+        attrs: Small, JSON-friendly annotations (config name, sizes...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start_s: float
+    duration_s: float
+    pid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (one JSONL line)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a span written by :meth:`to_dict`."""
+        return cls(
+            span_id=int(data["span_id"]),
+            parent_id=(
+                None if data.get("parent_id") is None
+                else int(data["parent_id"])
+            ),
+            name=str(data["name"]),
+            category=str(data.get("category", "model")),
+            start_s=float(data["start_s"]),
+            duration_s=float(data["duration_s"]),
+            pid=int(data.get("pid", 0)),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+#: Finished spans of this process, in completion order.
+_SPANS: list[Span] = []
+
+#: Monotonic span-id source (per process; forked children inherit the
+#: counter state but their spans are re-numbered on merge).
+_IDS = itertools.count(1)
+
+_LOCAL = threading.local()
+_LOCK = threading.Lock()
+
+
+def _stack() -> list[int]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("name", "category", "attrs", "span_id", "parent_id",
+                 "start_s")
+
+    def __init__(self, name: str, category: str,
+                 attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = _stack()
+        self.parent_id = stack[-1] if stack else None
+        with _LOCK:
+            self.span_id = next(_IDS)
+        stack.append(self.span_id)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration_s = time.perf_counter() - self.start_s
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = Span(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            category=self.category,
+            start_s=self.start_s,
+            duration_s=duration_s,
+            pid=os.getpid(),
+            attrs=self.attrs,
+        )
+        with _LOCK:
+            _SPANS.append(record)
+        return False
+
+
+def span(
+    name: str,
+    category: str = "model",
+    detail: bool = False,
+    **attrs: Any,
+) -> "_LiveSpan | _NullSpan":
+    """Open a trace span; a no-op unless instrumentation is enabled.
+
+    Args:
+        name: Span name (dotted component path).
+        category: Coarse grouping shown by trace viewers.
+        detail: Mark as a high-frequency solver span, recorded only
+            when :func:`repro.obs.runtime.enable` was called with
+            ``detail=True``.
+        **attrs: JSON-friendly annotations attached to the span.
+    """
+    if not runtime.ACTIVE or (detail and not runtime.DETAIL):
+        return _NULL
+    return _LiveSpan(name, category, attrs)
+
+
+def traced(
+    name: str | None = None,
+    category: str = "model",
+    detail: bool = False,
+) -> Callable[[_F], _F]:
+    """Decorator form of :func:`span` (span per call, named after the
+    function unless ``name`` is given)."""
+
+    def decorate(func: _F) -> _F:
+        label = name or func.__qualname__
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not runtime.ACTIVE or (detail and not runtime.DETAIL):
+                return func(*args, **kwargs)
+            with _LiveSpan(label, category, {}):
+                return func(*args, **kwargs)
+
+        wrapper.__name__ = func.__name__
+        wrapper.__qualname__ = func.__qualname__
+        wrapper.__doc__ = func.__doc__
+        wrapper.__wrapped__ = func  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+# -- collection management ----------------------------------------------
+
+
+def spans() -> tuple[Span, ...]:
+    """Snapshot of the finished spans recorded so far (this process)."""
+    with _LOCK:
+        return tuple(_SPANS)
+
+
+def reset() -> None:
+    """Drop all recorded spans (the open-span stack is untouched)."""
+    with _LOCK:
+        _SPANS.clear()
+
+
+def current_span_id() -> int | None:
+    """Id of the innermost open span on this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def merge(
+    foreign: Iterable[Span],
+    parent_id: int | None = None,
+) -> None:
+    """Absorb spans recorded in another process (fork-pool workers).
+
+    Foreign span ids are re-numbered from this process's id source so
+    they can never collide with local spans; parent/child edges are
+    remapped accordingly. Cross-process parent links (a worker span
+    whose parent id was inherited from the pre-fork parent process) are
+    reattached under ``parent_id`` — typically the local span that was
+    open at the join (see :func:`current_span_id`) — or cut to roots
+    when no anchor is given.
+    """
+    foreign = list(foreign)
+    with _LOCK:
+        mapping = {s.span_id: next(_IDS) for s in foreign}
+        for s in foreign:
+            if s.parent_id is None:
+                new_parent = parent_id
+            else:
+                new_parent = mapping.get(s.parent_id, parent_id)
+            _SPANS.append(Span(
+                span_id=mapping[s.span_id],
+                parent_id=new_parent,
+                name=s.name,
+                category=s.category,
+                start_s=s.start_s,
+                duration_s=s.duration_s,
+                pid=s.pid,
+                attrs=s.attrs,
+            ))
+
+
+# -- export --------------------------------------------------------------
+
+
+def write_jsonl(path: str | Path,
+                trace: Iterable[Span] | None = None) -> None:
+    """Write spans as one JSON object per line."""
+    trace = spans() if trace is None else tuple(trace)
+    lines = [json.dumps(s.to_dict(), sort_keys=True) for s in trace]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def read_jsonl(path: str | Path) -> tuple[Span, ...]:
+    """Load spans written by :func:`write_jsonl`."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(Span.from_dict(json.loads(line)))
+    return tuple(out)
+
+
+def write_chrome_trace(path: str | Path,
+                       trace: Iterable[Span] | None = None) -> None:
+    """Write a Chrome ``trace_event`` file (open in ``chrome://tracing``
+    or https://ui.perfetto.dev).
+
+    Spans become complete (``"ph": "X"``) events; timestamps are
+    microseconds on the shared monotonic clock, so multi-process traces
+    line up on one timeline with one track per pid.
+    """
+    trace = spans() if trace is None else tuple(trace)
+    events = [
+        {
+            "name": s.name,
+            "cat": s.category,
+            "ph": "X",
+            "ts": s.start_s * 1e6,
+            "dur": s.duration_s * 1e6,
+            "pid": s.pid,
+            "tid": s.pid,
+            "args": s.attrs,
+        }
+        for s in trace
+    ]
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
+
+
+# -- aggregation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Aggregate timing of all spans sharing one name.
+
+    Attributes:
+        count: Number of spans.
+        total_s: Summed wall time (inclusive of children).
+        self_s: Summed wall time exclusive of child spans — the
+            component's own cost; self times sum to the root total
+            without double counting.
+    """
+
+    count: int
+    total_s: float
+    self_s: float
+
+
+def profile(trace: Iterable[Span] | None = None) -> dict[str, ProfileEntry]:
+    """Aggregate spans into a per-name time breakdown.
+
+    ``self_s`` subtracts each span's direct children, so summing
+    ``self_s`` over all names equals the summed duration of the root
+    spans (up to clock resolution) — a breakdown that accounts for the
+    traced wall time exactly once.
+    """
+    trace = spans() if trace is None else tuple(trace)
+    child_time: dict[int, float] = {}
+    for s in trace:
+        if s.parent_id is not None:
+            child_time[s.parent_id] = (
+                child_time.get(s.parent_id, 0.0) + s.duration_s
+            )
+    out: dict[str, ProfileEntry] = {}
+    for s in trace:
+        self_s = max(0.0, s.duration_s - child_time.get(s.span_id, 0.0))
+        prev = out.get(s.name)
+        if prev is None:
+            out[s.name] = ProfileEntry(
+                count=1, total_s=s.duration_s, self_s=self_s,
+            )
+        else:
+            out[s.name] = ProfileEntry(
+                count=prev.count + 1,
+                total_s=prev.total_s + s.duration_s,
+                self_s=prev.self_s + self_s,
+            )
+    return out
+
+
+def root_total_s(trace: Iterable[Span] | None = None) -> float:
+    """Summed duration of the root spans — the traced wall time."""
+    trace = spans() if trace is None else tuple(trace)
+    return sum(s.duration_s for s in trace if s.parent_id is None)
+
+
+def format_profile(
+    entries: Mapping[str, ProfileEntry],
+    wall_s: float | None = None,
+    covered_s: float | None = None,
+) -> str:
+    """Render a :func:`profile` breakdown as an aligned table.
+
+    Args:
+        entries: Output of :func:`profile`.
+        wall_s: Optional measured wall time; adds a coverage line
+            stating how much of it the spans account for.
+        covered_s: Traced time to report against ``wall_s`` — pass
+            :func:`root_total_s` so parallel runs (where summed self
+            times exceed wall clock) report root-span coverage; defaults
+            to the summed self times.
+    """
+    if not entries:
+        return "(no spans recorded)"
+    width = max(len(name) for name in entries)
+    total_self_s = sum(e.self_s for e in entries.values())
+    header = (f"{'span':<{width}} {'count':>7} {'total':>10} "
+              f"{'self':>10} {'share':>7}")
+    lines = [header, "-" * len(header)]
+    ordered = sorted(
+        entries.items(), key=lambda kv: kv[1].self_s, reverse=True,
+    )
+    for name, entry in ordered:
+        share = entry.self_s / total_self_s if total_self_s else 0.0
+        lines.append(
+            f"{name:<{width}} {entry.count:>7} "
+            f"{entry.total_s * 1e3:>8.1f}ms {entry.self_s * 1e3:>8.1f}ms "
+            f"{share:>6.1%}"
+        )
+    lines.append(
+        f"{'(span total)':<{width}} {'':>7} "
+        f"{total_self_s * 1e3:>8.1f}ms {total_self_s * 1e3:>8.1f}ms "
+        f"{1:>6.0%}"
+    )
+    if wall_s is not None and wall_s > 0:
+        covered = total_self_s if covered_s is None else covered_s
+        lines.append(
+            f"span total covers {covered / wall_s:.1%} of "
+            f"{wall_s * 1e3:.1f}ms wall time"
+        )
+    return "\n".join(lines)

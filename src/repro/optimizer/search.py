@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import obs
 from repro.config.schema import SystemConfig
 from repro.engine import DEFAULT_CACHE, EvalCache, evaluate_many
 from repro.perf import Workload
@@ -151,9 +152,15 @@ def sweep_designs(
         )
     constraints = constraints or DesignConstraints()
 
-    records = evaluate_many(
-        candidates, workload=workload, jobs=jobs, cache=cache,
-    )
+    with obs.span(
+        "optimizer.sweep_designs",
+        category="engine",
+        candidates=len(candidates),
+        objective=objective.value,
+    ):
+        records = evaluate_many(
+            candidates, workload=workload, jobs=jobs, cache=cache,
+        )
     evaluated: list[DesignCandidate] = []
     for config, record in zip(candidates, records):
         feasible = True

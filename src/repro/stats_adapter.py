@@ -36,6 +36,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from pathlib import Path
 
+from repro import obs
 from repro.activity import (
     CacheActivity,
     CoreActivity,
@@ -75,6 +76,8 @@ def parse_gem5_stats(path: str | Path) -> dict[str, float]:
         if value != value or value in (float("inf"), float("-inf")):
             continue  # nan / inf placeholders
         counters[name] = value
+    obs.counter_add("stats_adapter.files_parsed")
+    obs.gauge_set("stats_adapter.last_parse_counters", float(len(counters)))
     return counters
 
 

@@ -1,5 +1,6 @@
 """Tests for the model-build timing breakdown."""
 
+from repro import obs
 from repro.chip import Processor, format_timing_breakdown, timing_breakdown
 
 from tests.conftest import make_tiny_config
@@ -24,3 +25,50 @@ class TestTimingBreakdown:
         assert "component" in text
         assert "total" in text
         assert "core.lsu" in text
+
+    def test_sum_approximates_cold_report(self):
+        """The per-component times should account for essentially all of
+        one cold report() — the breakdown *is* the build."""
+        times = timing_breakdown(Processor(make_tiny_config()))
+        assert sum(times.values()) > 0
+        assert "report assembly" in times
+
+    def test_shares_sum_to_one_in_table(self):
+        times = {"a": 1.0, "b": 3.0}
+        text = format_timing_breakdown(times)
+        assert "25.0%" in text
+        assert "75.0%" in text
+        assert "100%" in text
+
+    def test_emits_profile_spans_when_traced(self):
+        obs.reset()
+        obs.enable()
+        try:
+            timing_breakdown(Processor(make_tiny_config()))
+            spans = obs.spans()
+        finally:
+            obs.disable()
+            obs.reset()
+        names = {s.name for s in spans}
+        assert "profile.core.lsu" in names
+        assert "profile.report assembly" in names
+        assert all(
+            s.category == "profile" for s in spans
+            if s.name.startswith("profile.")
+        )
+
+    def test_breakdown_values_unchanged_by_tracing(self):
+        """Tracing wraps the timed builds; the measured structure (which
+        components appear) must not change."""
+        baseline = set(timing_breakdown(Processor(make_tiny_config())))
+        obs.enable()
+        try:
+            traced = set(timing_breakdown(Processor(make_tiny_config())))
+        finally:
+            obs.disable()
+            obs.reset()
+        assert traced == baseline
+
+    def test_tiny_chip_breakdown_is_fast(self):
+        times = timing_breakdown(Processor(make_tiny_config()))
+        assert all(t < 10.0 for t in times.values())

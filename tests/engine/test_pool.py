@@ -5,9 +5,14 @@ import signal
 
 import pytest
 
+from repro import obs
 from repro.engine import config_key
 from repro.engine import pool
-from repro.engine.pool import evaluate_payloads, split_chunks
+from repro.engine.pool import (
+    WorkerRecoveryError,
+    evaluate_payloads,
+    split_chunks,
+)
 
 from tests.conftest import make_tiny_config
 
@@ -28,6 +33,11 @@ def _suicidal_chunk(chunk):
     if os.getpid() != _PARENT_PID:
         os.kill(os.getpid(), signal.SIGKILL)
     return _REAL_CHUNK(chunk)
+
+
+def _poison_chunk(chunk):
+    """Fail everywhere: in the worker and during serial recovery."""
+    raise ValueError("poison task exploded")
 
 
 def _payload(**overrides):
@@ -93,3 +103,67 @@ class TestCrashRecovery:
         assert all(r.tdp_w > 0 for r in records)
         # And the recovered results match a clean serial run exactly.
         assert records == _REAL_CHUNK(payloads)
+
+    def test_poison_task_preserves_worker_traceback(self, monkeypatch):
+        """When a chunk fails in its worker *and* again during serial
+        recovery, the raised error must carry the original worker
+        failure text instead of silently dropping it."""
+        if not pool.fork_available():
+            pytest.skip("needs fork")
+        monkeypatch.setattr(pool, "_evaluate_chunk", _poison_chunk)
+
+        with pytest.raises(WorkerRecoveryError) as excinfo:
+            evaluate_payloads(
+                [_payload(n_cores=1), _payload(n_cores=2)], jobs=2,
+            )
+        message = str(excinfo.value)
+        assert "original worker failure" in message
+        assert "poison task exploded" in message
+        # The recovery failure is chained, not lost either.
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestInstrumentedPool:
+    def test_spans_and_metrics_survive_fork(self):
+        """With obs active, worker spans and metric deltas ship back to
+        the parent and merge into one timeline / one registry."""
+        if not pool.fork_available():
+            pytest.skip("needs fork")
+        obs.disable()
+        obs.reset()
+        obs.enable()
+        try:
+            payloads = [_payload(n_cores=n) for n in (1, 2, 4)]
+            with obs.span("test.batch"):
+                records = evaluate_payloads(payloads, jobs=2)
+            assert len(records) == 3
+            names = {s.name for s in obs.spans()}
+            assert "engine.evaluate" in names  # recorded in workers
+            # Worker roots were re-anchored under the parent's open span.
+            by_id = {s.span_id: s for s in obs.spans()}
+            batch = next(s for s in by_id.values()
+                         if s.name == "test.batch")
+            evaluates = [s for s in by_id.values()
+                         if s.name == "engine.evaluate"]
+            assert all(s.parent_id == batch.span_id for s in evaluates)
+            assert all(s.pid != os.getpid() for s in evaluates)
+            snap = obs.snapshot()
+            assert snap.counter("pool.tasks") == pytest.approx(3.0)
+            assert snap.counter("pool.chunks") >= 2.0
+            assert "pool.chunk_s" in snap.histograms
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_results_identical_to_uninstrumented_run(self):
+        if not pool.fork_available():
+            pytest.skip("needs fork")
+        payloads = [_payload(n_cores=n) for n in (1, 2)]
+        baseline = evaluate_payloads(payloads, jobs=2)
+        obs.enable()
+        try:
+            traced = evaluate_payloads(payloads, jobs=2)
+        finally:
+            obs.disable()
+            obs.reset()
+        assert traced == baseline

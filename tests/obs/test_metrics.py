@@ -1,0 +1,148 @@
+"""Tests for the metrics registry: kinds, collectors, worker merge."""
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.metrics import MetricsSnapshot
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_updates_are_noops_while_disabled():
+    obs.counter_add("c")
+    obs.gauge_set("g", 1.0)
+    obs.observe("h", 1.0)
+    snap = obs.snapshot()
+    assert snap.counter("c") == pytest.approx(0.0)
+    assert "g" not in snap.gauges
+    assert "h" not in snap.histograms
+
+
+def test_counter_gauge_histogram_record_while_enabled():
+    obs.enable()
+    obs.counter_add("c")
+    obs.counter_add("c", 2.0)
+    obs.gauge_set("g", 1.0)
+    obs.gauge_set("g", 4.0)
+    for value in (1.0, 3.0):
+        obs.observe("h", value)
+    snap = obs.snapshot()
+    assert snap.counter("c") == pytest.approx(3.0)
+    assert snap.gauges["g"] == pytest.approx(4.0)
+    hist = snap.histograms["h"]
+    assert hist["count"] == pytest.approx(2.0)
+    assert hist["sum"] == pytest.approx(4.0)
+    assert hist["min"] == pytest.approx(1.0)
+    assert hist["max"] == pytest.approx(3.0)
+
+
+def test_collectors_fold_into_snapshot_even_when_disabled():
+    state = {"calls": 0.0}
+
+    def collect():
+        state["calls"] += 1.0
+        return {"ext.value": 7.0}
+
+    metrics.register_collector("test.ext", collect)
+    try:
+        snap = obs.snapshot()
+        assert snap.counter("ext.value") == pytest.approx(7.0)
+        assert state["calls"] == pytest.approx(1.0)
+    finally:
+        metrics._COLLECTORS.pop("test.ext", None)
+
+
+def test_snapshot_extra_counters_add_to_registry_values():
+    obs.enable()
+    obs.counter_add("x", 1.0)
+    snap = obs.snapshot(extra_counters={"x": 2.0, "y": 5.0})
+    assert snap.counter("x") == pytest.approx(3.0)
+    assert snap.counter("y") == pytest.approx(5.0)
+
+
+def test_export_state_skips_collectors():
+    def collect():
+        return {"ext.value": 7.0}
+
+    metrics.register_collector("test.ext", collect)
+    try:
+        assert obs.export_state().counter("ext.value") == pytest.approx(0.0)
+    finally:
+        metrics._COLLECTORS.pop("test.ext", None)
+
+
+def test_absorb_merges_worker_delta():
+    obs.enable()
+    obs.counter_add("c", 1.0)
+    obs.observe("h", 2.0)
+    delta = MetricsSnapshot(
+        counters={"c": 4.0},
+        gauges={"g": 9.0},
+        histograms={"h": {"count": 1.0, "sum": 6.0, "min": 6.0,
+                          "max": 6.0}},
+    )
+    obs.absorb(delta)
+    snap = obs.snapshot()
+    assert snap.counter("c") == pytest.approx(5.0)
+    assert snap.gauges["g"] == pytest.approx(9.0)
+    hist = snap.histograms["h"]
+    assert hist["count"] == pytest.approx(2.0)
+    assert hist["sum"] == pytest.approx(8.0)
+    assert hist["min"] == pytest.approx(2.0)
+    assert hist["max"] == pytest.approx(6.0)
+
+
+def test_hit_rate():
+    snap = MetricsSnapshot(counters={"m.hits": 3.0, "m.misses": 1.0})
+    assert snap.hit_rate("m") == pytest.approx(0.75)
+    assert snap.hit_rate("absent") is None
+
+
+def test_format_table_derives_hit_rate_lines():
+    snap = MetricsSnapshot(
+        counters={"m.hits": 3.0, "m.misses": 1.0},
+        gauges={"depth": 2.0},
+        histograms={"t": {"count": 2.0, "sum": 1.0, "min": 0.4,
+                          "max": 0.6}},
+    )
+    text = obs.format_metrics_table(snap)
+    assert "m hit rate" in text
+    assert "75.0%" in text
+    assert "depth" in text
+    assert "t" in text
+
+
+def test_format_table_empty():
+    assert "no metrics" in obs.format_metrics_table(MetricsSnapshot())
+
+
+def test_snapshot_to_dict_json_ready():
+    obs.enable()
+    obs.counter_add("c")
+    obs.observe("h", 1.0)
+    data = obs.snapshot().to_dict()
+    assert set(data) == {"counters", "gauges", "histograms"}
+    assert data["counters"]["c"] == pytest.approx(1.0)
+
+
+def test_fastpath_memo_collector_registered():
+    from repro import fastpath
+    from repro.array import ArraySpec, build_array
+    from repro.tech import Technology
+
+    fastpath.clear_all()
+    spec = ArraySpec(name="t", entries=64, width_bits=64)
+    tech = Technology(node_nm=45)
+    build_array(tech, spec)
+    build_array(tech, spec)
+    snap = obs.snapshot()
+    assert snap.counter("memo.build_array.misses") >= 1.0
+    assert snap.counter("memo.build_array.hits") >= 1.0

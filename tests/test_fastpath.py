@@ -72,7 +72,7 @@ class TestDisabledContext:
         memo = fastpath.Memo("t-stats")
         memo.get_or_compute("k", lambda: 1)
         assert fastpath.stats()["t-stats"] == {
-            "hits": 0, "misses": 1, "entries": 1}
+            "hits": 0, "misses": 1, "evictions": 0, "entries": 1}
         fastpath.clear_all()
         assert fastpath.stats()["t-stats"]["entries"] == 0
 

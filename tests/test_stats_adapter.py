@@ -3,8 +3,10 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro import obs
 from repro.stats_adapter import (
     core_activity_from_stats,
+    parse_gem5_stats,
     system_activity_from_stats,
 )
 
@@ -28,6 +30,75 @@ GOOD = {
     "mem_reads": 5_000.0,
     "mem_writes": 2_000.0,
 }
+
+
+class TestParseGem5Stats:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "stats.txt"
+        path.write_text(text)
+        return path
+
+    def test_basic_parse_with_comments(self, tmp_path):
+        path = self._write(tmp_path, (
+            "sim_cycles  1000  # cycles simulated\n"
+            "committed_insts  800\n"
+        ))
+        counters = parse_gem5_stats(path)
+        assert counters == {"sim_cycles": 1000.0,
+                            "committed_insts": 800.0}
+
+    def test_dump_markers_and_blank_lines_ignored(self, tmp_path):
+        path = self._write(tmp_path, (
+            "---------- Begin Simulation Statistics ----------\n"
+            "\n"
+            "sim_cycles 10\n"
+            "---------- End Simulation Statistics ----------\n"
+        ))
+        assert parse_gem5_stats(path) == {"sim_cycles": 10.0}
+
+    def test_last_dump_wins(self, tmp_path):
+        path = self._write(tmp_path, (
+            "sim_cycles 10\n"
+            "sim_cycles 20\n"
+        ))
+        assert parse_gem5_stats(path)["sim_cycles"] == pytest.approx(20.0)
+
+    def test_non_numeric_and_nan_inf_skipped(self, tmp_path):
+        path = self._write(tmp_path, (
+            "ipc_histogram |10 20 30|\n"
+            "bad_value nan\n"
+            "worse_value inf\n"
+            "sim_cycles 5\n"
+            "lonely_name\n"
+        ))
+        assert parse_gem5_stats(path) == {"sim_cycles": 5.0}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            parse_gem5_stats(tmp_path / "absent.txt")
+
+    def test_parse_records_obs_metrics_when_enabled(self, tmp_path):
+        path = self._write(tmp_path, "sim_cycles 5\ncommitted_insts 4\n")
+        obs.reset()
+        obs.enable()
+        try:
+            parse_gem5_stats(path)
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert snap.counter("stats_adapter.files_parsed") == pytest.approx(1.0)
+        assert snap.gauges["stats_adapter.last_parse_counters"] == pytest.approx(2.0)
+
+    def test_parsed_counters_feed_the_core_adapter(self, tmp_path):
+        path = self._write(tmp_path, (
+            "sim_cycles 1000\n"
+            "committed_insts 500\n"
+            "num_load_insts 100\n"
+        ))
+        activity = core_activity_from_stats(parse_gem5_stats(path))
+        assert activity.ipc == pytest.approx(0.5)
+        assert activity.load_fraction == pytest.approx(0.2)
 
 
 class TestCoreAdapter:
@@ -63,6 +134,15 @@ class TestCoreAdapter:
         activity = core_activity_from_stats(weird)
         assert activity.dcache_miss_rate == pytest.approx(1.0)
 
+    def test_speculation_overhead_capped_at_two(self):
+        wild = dict(GOOD, fetched_insts=GOOD["committed_insts"] * 10)
+        activity = core_activity_from_stats(wild)
+        assert activity.speculation_overhead == pytest.approx(2.0)
+
+    def test_duty_cycle_passed_through(self):
+        activity = core_activity_from_stats(GOOD, duty_cycle=0.5)
+        assert activity.duty_cycle == pytest.approx(0.5)
+
     @given(st.floats(min_value=1.0, max_value=1e9),
            st.floats(min_value=0.0, max_value=1e9))
     def test_never_crashes_on_physical_counts(self, cycles, insts):
@@ -93,6 +173,21 @@ class TestSystemAdapter:
     def test_bad_instance_counts_rejected(self):
         with pytest.raises(ValueError):
             system_activity_from_stats(GOOD, n_l2_instances=0)
+        with pytest.raises(ValueError):
+            system_activity_from_stats(GOOD, n_routers=0)
+
+    def test_noc_flits_clamped_to_one_per_cycle(self):
+        hot = dict(GOOD, noc_flits=1e12)
+        bundle = system_activity_from_stats(hot)
+        assert bundle.noc.flits_per_cycle_per_router == pytest.approx(1.0)
+
+    def test_missing_memory_counters_default_to_zero(self):
+        stats = {k: v for k, v in GOOD.items()
+                 if k not in ("mem_reads", "mem_writes", "noc_flits")}
+        bundle = system_activity_from_stats(stats)
+        assert bundle.memory_controller.reads_per_cycle == pytest.approx(0.0)
+        assert bundle.memory_controller.writes_per_cycle == pytest.approx(0.0)
+        assert bundle.noc.flits_per_cycle_per_router == pytest.approx(0.0)
 
     def test_drives_power_model_end_to_end(self, preset_processors):
         chip = preset_processors("niagara1")
