@@ -8,6 +8,7 @@ test:
 
 lint:
 	$(PYTHON) -m repro.cli lint src tests
+	$(PYTHON) -m repro.cli lint --dimensional src
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \

@@ -1,0 +1,279 @@
+"""The dimension lattice the whole-program analysis computes over.
+
+A physical dimension is an integer exponent vector over the six base
+axes the model needs — seconds, meters, kilograms, amperes, kelvin, and
+bits — plus the trivial dimensionless slot (the "7-vector" of the SI
+base-unit contract in :mod:`repro.units`). Three special lattice values
+surround the concrete vectors:
+
+* :data:`UNKNOWN` — no information yet (lattice bottom). Arithmetic on
+  unknowns stays unknown; checks involving unknowns stay silent.
+* :data:`POLY` — a bare numeric literal. Literals are *polymorphic
+  scalars*: they act dimensionless under ``*``/``/`` and adapt to the
+  other operand under ``+``/``-``/comparisons, so ``delay_s = 0.0`` and
+  ``1.1 * cap_f`` never produce noise.
+* :data:`ANY` — conflicting information (lattice top), produced when a
+  join sees two different concrete dimensions (e.g. a helper called with
+  watts at one site and joules at another). Like unknowns, it silences
+  downstream checks: a dimension-polymorphic helper is not an error.
+
+Only a *concrete-vs-concrete* disagreement is ever reported, which keeps
+the pass conservative: everything the inference cannot prove stays
+silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base axes, in vector order.
+AXES: tuple[str, ...] = ("s", "m", "kg", "A", "K", "bit")
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A concrete dimension: integer exponents over :data:`AXES`."""
+
+    exps: tuple[int, int, int, int, int, int]
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not any(self.exps)
+
+    def __str__(self) -> str:
+        return format_dim(self)
+
+
+class _Special:
+    """A non-concrete lattice value (singletons below)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: No information (bottom).
+UNKNOWN = _Special("UNKNOWN")
+#: Polymorphic numeric literal.
+POLY = _Special("POLY")
+#: Conflicting information (top).
+ANY = _Special("ANY")
+
+DimValue = Dim | _Special
+
+
+def _dim(
+    s: int = 0, m: int = 0, kg: int = 0, a: int = 0, k: int = 0,
+    bit: int = 0,
+) -> Dim:
+    return Dim((s, m, kg, a, k, bit))
+
+
+DIMENSIONLESS = _dim()
+SECOND = _dim(s=1)
+METER = _dim(m=1)
+SQUARE_METER = _dim(m=2)
+KILOGRAM = _dim(kg=1)
+AMPERE = _dim(a=1)
+KELVIN = _dim(k=1)
+BIT = _dim(bit=1)
+HERTZ = _dim(s=-1)
+VOLT = _dim(s=-3, m=2, kg=1, a=-1)
+WATT = _dim(s=-3, m=2, kg=1)
+JOULE = _dim(s=-2, m=2, kg=1)
+FARAD = _dim(s=4, m=-2, kg=-1, a=2)
+OHM = _dim(s=-3, m=2, kg=1, a=-2)
+COULOMB = _dim(s=1, a=1)
+
+#: Unit tokens accepted in dimension annotation comments, lowercase.
+UNIT_TOKENS: dict[str, Dim] = {
+    "1": DIMENSIONLESS,
+    "s": SECOND,
+    "m": METER,
+    "m2": SQUARE_METER,
+    "kg": KILOGRAM,
+    "a": AMPERE,
+    "k": KELVIN,
+    "bit": BIT,
+    "hz": HERTZ,
+    "v": VOLT,
+    "w": WATT,
+    "j": JOULE,
+    "f": FARAD,
+    "ohm": OHM,
+}
+
+#: Preferred display names for recognizable vectors, most-derived first.
+_DISPLAY: tuple[tuple[Dim, str], ...] = (
+    (DIMENSIONLESS, "1"),
+    (SECOND, "s"),
+    (METER, "m"),
+    (SQUARE_METER, "m^2"),
+    (KILOGRAM, "kg"),
+    (AMPERE, "A"),
+    (KELVIN, "K"),
+    (BIT, "bit"),
+    (HERTZ, "Hz"),
+    (WATT, "W"),
+    (JOULE, "J"),
+    (FARAD, "F"),
+    (VOLT, "V"),
+    (OHM, "ohm"),
+    (COULOMB, "A*s"),
+)
+_DISPLAY_BY_DIM: dict[Dim, str] = {d: n for d, n in _DISPLAY}
+
+
+def format_dim(value: DimValue) -> str:
+    """Readable rendering: ``W``, ``F/m``, ``s^-1*m^2`` or a sentinel."""
+    if isinstance(value, _Special):
+        return value.name.lower()
+    named = _DISPLAY_BY_DIM.get(value)
+    if named is not None:
+        return named
+    # Try a named-unit-per-length/area rendering before raw exponents:
+    # quantities like F/m and W/m are everywhere in the wire models.
+    for per, suffix in ((METER, "/m"), (SQUARE_METER, "/m^2")):
+        base = mul(value, per)
+        if isinstance(base, Dim) and base in _DISPLAY_BY_DIM:
+            return _DISPLAY_BY_DIM[base] + suffix
+        times = div(value, per)
+        if isinstance(times, Dim) and times in _DISPLAY_BY_DIM:
+            named = _DISPLAY_BY_DIM[times]
+            return f"{named}*m" if suffix == "/m" else f"{named}*m^2"
+    parts = [
+        axis if exp == 1 else f"{axis}^{exp}"
+        for axis, exp in zip(AXES, value.exps)
+        if exp
+    ]
+    return "*".join(parts)
+
+
+# -- arithmetic over the lattice ------------------------------------------
+
+
+def mul(left: DimValue, right: DimValue) -> DimValue:
+    """Dimension of a product: exponents add; POLY is a pure scalar."""
+    if left is POLY:
+        return right
+    if right is POLY:
+        return left
+    if left is ANY or right is ANY:
+        return ANY
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    assert isinstance(left, Dim) and isinstance(right, Dim)
+    return Dim(tuple(a + b for a, b in zip(left.exps, right.exps)))
+
+
+def inverse(value: DimValue) -> DimValue:
+    """Dimension of ``1 / value``."""
+    if isinstance(value, Dim):
+        return Dim(tuple(-e for e in value.exps))
+    return value
+
+
+def div(left: DimValue, right: DimValue) -> DimValue:
+    """Dimension of a quotient: exponents subtract."""
+    return mul(left, inverse(right))
+
+
+def power(value: DimValue, exponent: int) -> DimValue:
+    """Dimension of ``value ** exponent`` for an integer exponent."""
+    if isinstance(value, Dim):
+        return Dim(tuple(e * exponent for e in value.exps))
+    return value
+
+
+def sqrt(value: DimValue) -> DimValue:
+    """Dimension of a square root; odd exponents are not representable."""
+    if isinstance(value, Dim):
+        if any(e % 2 for e in value.exps):
+            return UNKNOWN
+        return Dim(tuple(e // 2 for e in value.exps))
+    if value is POLY:
+        return POLY
+    return value
+
+
+def join(left: DimValue, right: DimValue) -> DimValue:
+    """Lattice join: UNKNOWN < POLY < concrete < ANY."""
+    if left is UNKNOWN:
+        return right
+    if right is UNKNOWN:
+        return left
+    if left is POLY:
+        return right
+    if right is POLY:
+        return left
+    if left is ANY or right is ANY:
+        return ANY
+    if left == right:
+        return left
+    return ANY
+
+
+def compatible(left: DimValue, right: DimValue) -> bool:
+    """Whether two values may meet under ``+``/``-``/comparison.
+
+    Only a concrete-vs-concrete mismatch is incompatible; everything
+    involving UNKNOWN/ANY/POLY is permitted (conservatism).
+    """
+    if isinstance(left, Dim) and isinstance(right, Dim):
+        return left == right
+    return True
+
+
+def parse_unit_expr(text: str) -> Dim:
+    """Parse an annotation unit expression into a :class:`Dim`.
+
+    Grammar: ``expr ::= term (('*' | '/') term)*`` and
+    ``term ::= unit ('^' int)?`` with units from :data:`UNIT_TOKENS`
+    (case-insensitive). Examples: ``w``, ``f/m``, ``j/bit``, ``s/m^2``,
+    ``ohm*m``, ``1``.
+
+    Raises:
+        ValueError: On an unknown unit token or malformed expression.
+    """
+    result: DimValue = DIMENSIONLESS
+    op = "*"
+    text = text.strip()
+    if not text:
+        raise ValueError("empty unit expression")
+    token = ""
+    tokens: list[str] = []
+    for char in text:
+        if char in "*/":
+            tokens.append(token)
+            tokens.append(char)
+            token = ""
+        else:
+            token += char
+    tokens.append(token)
+    for i, item in enumerate(tokens):
+        item = item.strip()
+        if i % 2:  # operator slot
+            if item not in "*/":
+                raise ValueError(f"expected '*' or '/', got {item!r}")
+            op = item
+            continue
+        name, _, exp_text = item.partition("^")
+        name = name.strip().lower()
+        if name not in UNIT_TOKENS:
+            known = ", ".join(sorted(UNIT_TOKENS))
+            raise ValueError(f"unknown unit {name!r}; known units: {known}")
+        term: DimValue = UNIT_TOKENS[name]
+        if exp_text:
+            try:
+                term = power(term, int(exp_text.strip()))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad exponent {exp_text.strip()!r} on unit {name!r}"
+                ) from exc
+        result = mul(result, term) if op == "*" else div(result, term)
+    assert isinstance(result, Dim)
+    return result

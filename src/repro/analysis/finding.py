@@ -106,7 +106,50 @@ RULE_INFO: tuple[RuleInfo, ...] = (
         "physical-quantity names must use the canonical repro.units "
         "suffixes (_s, _w, _j, _f, _m, _m2, _v, _a, _ohm, _k, _hz)",
     ),
+    RuleInfo(
+        "DIM001",
+        "dim-incompatible-operands",
+        "operands of +, -, comparisons, min/max and math.isclose must "
+        "carry the same inferred physical dimension",
+    ),
+    RuleInfo(
+        "DIM002",
+        "dim-annotation-mismatch",
+        "a value must match the dimension pinned by its dim[...] "
+        "annotation or the function's pinned return dimension",
+    ),
+    RuleInfo(
+        "DIM003",
+        "dim-suffix-contradiction",
+        "a value assigned to a unit-suffixed name must infer to that "
+        "suffix's dimension (a _s name must actually hold seconds)",
+    ),
+    RuleInfo(
+        "DIM004",
+        "dim-call-boundary",
+        "arguments must match pinned parameter/field dimensions, and "
+        "math.exp/log/trig and ** exponents must be dimensionless",
+    ),
+    RuleInfo(
+        "DIMNOTE",
+        "dim-annotation-malformed",
+        "# repro: dim[...] annotation comments must parse (name: unit "
+        "entries with units from the seed grammar)",
+    ),
+    RuleInfo(
+        "IO001",
+        "unreadable-source-file",
+        "files the linter is asked to check must be readable; an "
+        "unreadable file is reported, never silently skipped",
+    ),
 )
+
+#: Rules produced by the interprocedural dimensional pass (enabled via
+#: ``lint --dimensional``) or by the driver itself rather than by a
+#: per-module check function in :mod:`repro.analysis.rules`.
+DRIVER_RULE_IDS: frozenset[str] = frozenset({
+    "DIM001", "DIM002", "DIM003", "DIM004", "DIMNOTE", "IO001",
+})
 
 #: Rule id -> metadata.
 RULES: dict[str, RuleInfo] = {info.rule_id: info for info in RULE_INFO}

@@ -72,7 +72,15 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
 
 
 def _parse_module(path: Path) -> ModuleSource | Finding:
-    source = path.read_text()
+    try:
+        source = path.read_text()
+    except FileNotFoundError:
+        raise  # a missing target is a usage error, not a finding
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(
+            str(path), 1, 0, "IO001",
+            f"file could not be read: {exc}",
+        )
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -113,9 +121,11 @@ def _lint_modules(
     parse_failures: list[Finding],
     disable: frozenset[str],
     index: ProjectIndex,
+    extra: dict[str, list[Finding]] | None = None,
 ) -> LintResult:
     findings: list[Finding] = list(parse_failures)
     suppressed = 0
+    extra = extra or {}
     for module in targets:
         suppressions = parse_suppressions(module.source, ALL_RULE_IDS)
         for lineno, token in suppressions.unknown:
@@ -123,14 +133,21 @@ def _lint_modules(
                 module.path, lineno, 0, "NOQA",
                 f"suppression names unknown rule {token!r}",
             ))
-        for rule_id, check in CHECKS.items():
-            if rule_id in disable:
-                continue
-            for finding in check(module, index):
-                if suppressions.is_suppressed(finding.line, finding.rule):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+        module_findings = [
+            finding
+            for rule_id, check in CHECKS.items()
+            if rule_id not in disable
+            for finding in check(module, index)
+        ]
+        module_findings += [
+            finding for finding in extra.get(module.path, [])
+            if finding.rule not in disable
+        ]
+        for finding in module_findings:
+            if suppressions.is_suppressed(finding.line, finding.rule):
+                suppressed += 1
+            else:
+                findings.append(finding)
     return LintResult(
         findings=tuple(sorted(findings)),
         suppressed=suppressed,
@@ -141,8 +158,15 @@ def _lint_modules(
 def lint_paths(
     paths: Sequence[str | Path],
     disable: Iterable[str] = (),
+    dimensional: bool = False,
 ) -> LintResult:
-    """Lint files/directories; the main entry point behind the CLI."""
+    """Lint files/directories; the main entry point behind the CLI.
+
+    With ``dimensional=True`` the interprocedural dimension-inference
+    pass also runs: the call graph spans every indexed module (targets
+    plus the installed package) and DIM/DIMNOTE findings are reported
+    for the targets.
+    """
     disabled = validate_disable(disable)
     files = iter_python_files(paths)
     targets: list[ModuleSource] = []
@@ -158,8 +182,14 @@ def lint_paths(
     }
     for module in targets:
         indexed[str(Path(module.path).resolve())] = module
-    index = build_index(list(indexed.values()))
-    return _lint_modules(targets, parse_failures, disabled, index)
+    context = list(indexed.values())
+    index = build_index(context)
+    extra: dict[str, list[Finding]] | None = None
+    if dimensional:
+        from repro.analysis.dimensional import analyze_dimensions
+
+        extra = analyze_dimensions(targets, context)
+    return _lint_modules(targets, parse_failures, disabled, index, extra)
 
 
 def lint_source(
@@ -167,12 +197,15 @@ def lint_source(
     path: str = "<snippet>",
     disable: Iterable[str] = (),
     index: ProjectIndex | None = None,
+    dimensional: bool = False,
 ) -> LintResult:
     """Lint one in-memory module (test fixtures, tooling).
 
     When ``index`` is omitted the snippet is self-indexing: its own
     memoization facts are collected, but the wider package is not
-    consulted.
+    consulted. ``dimensional=True`` runs the dimension-inference pass
+    over the snippet alone (cross-module facts still resolve through
+    the :mod:`repro.units` seed table).
     """
     disabled = validate_disable(disable)
     try:
@@ -186,7 +219,12 @@ def lint_source(
     module = ModuleSource(path=path, source=source, tree=tree)
     if index is None:
         index = build_index([module])
-    return _lint_modules([module], [], disabled, index)
+    extra: dict[str, list[Finding]] | None = None
+    if dimensional:
+        from repro.analysis.dimensional import analyze_dimensions
+
+        extra = analyze_dimensions([module], [module])
+    return _lint_modules([module], [], disabled, index, extra)
 
 
 def format_text(result: LintResult) -> str:

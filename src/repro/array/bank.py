@@ -70,17 +70,17 @@ class Bank:
     # -- geometry -----------------------------------------------------------
 
     @cached_property
-    def width(self) -> float:
+    def width(self) -> float:  # repro: dim[return: m]
         """Bank width (m)."""
         return self.organization.ndwl * self.subarray.width * _ROUTING_OVERHEAD
 
     @cached_property
-    def height(self) -> float:
+    def height(self) -> float:  # repro: dim[return: m]
         """Bank height (m)."""
         return self.organization.ndbl * self.subarray.height * _ROUTING_OVERHEAD
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Bank footprint (m^2)."""
         return self.width * self.height
 
@@ -91,17 +91,17 @@ class Bank:
         return RepeatedWire(self.tech, WireType.SEMI_GLOBAL)
 
     @cached_property
-    def htree_length(self) -> float:
+    def htree_length(self) -> float:  # repro: dim[return: m]
         """Average one-way routing distance, edge to active stripe (m)."""
         return 0.25 * (self.width + self.height)
 
     @cached_property
-    def htree_delay(self) -> float:
+    def htree_delay(self) -> float:  # repro: dim[return: s]
         """Address-in plus data-out tree traversal (s)."""
         return 2.0 * self._htree_wire.delay(self.htree_length)
 
     @cached_property
-    def _htree_energy_per_access(self) -> float:
+    def _htree_energy_per_access(self) -> float:  # repro: dim[return: j]
         """Address broadcast + data return energy, random data (J)."""
         address_bits = self.spec.address_bits
         data_bits = self.spec.routed_bits
@@ -111,19 +111,19 @@ class Bank:
     # -- timing ---------------------------------------------------------------
 
     @cached_property
-    def access_time(self) -> float:
+    def access_time(self) -> float:  # repro: dim[return: s]
         """Address-at-bank to data-at-bank-edge (s)."""
         return self.subarray.access_delay + self.htree_delay
 
     @cached_property
-    def cycle_time(self) -> float:
+    def cycle_time(self) -> float:  # repro: dim[return: s]
         """Minimum time between random accesses to the bank (s)."""
         return self.subarray.cycle_time
 
     # -- energy -----------------------------------------------------------------
 
     @cached_property
-    def read_energy(self) -> float:
+    def read_energy(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of one read (J)."""
         return (
             self.active_subarrays * self.subarray.read_energy
@@ -131,7 +131,7 @@ class Bank:
         )
 
     @cached_property
-    def write_energy(self) -> float:
+    def write_energy(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of one write (J)."""
         return (
             self.active_subarrays * self.subarray.write_energy
@@ -141,7 +141,7 @@ class Bank:
     # -- leakage -------------------------------------------------------------------
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Static power of the whole bank (W)."""
         subarrays = self.subarray_count * self.subarray.leakage_power
         htree = 2.0 * self._htree_wire.leakage_power(self.htree_length) * (
@@ -150,6 +150,6 @@ class Bank:
         return subarrays + htree
 
     @cached_property
-    def refresh_power(self) -> float:
+    def refresh_power(self) -> float:  # repro: dim[return: w]
         """Average eDRAM refresh power of the bank (W); zero for SRAM."""
         return self.subarray_count * self.subarray.refresh_power

@@ -82,31 +82,31 @@ class Subarray:
         return self.ports.area_cost_factor
 
     @cached_property
-    def cell_width(self) -> float:
+    def cell_width(self) -> float:  # repro: dim[return: m]
         """Storage cell width including multi-port growth (m)."""
         base = (self.tech.edram_cell_width if self.is_edram
                 else self.tech.sram_cell_width)
         return base * self._port_factor
 
     @cached_property
-    def cell_height(self) -> float:
+    def cell_height(self) -> float:  # repro: dim[return: m]
         """Storage cell height including multi-port growth (m)."""
         base = (self.tech.edram_cell_height if self.is_edram
                 else self.tech.sram_cell_height)
         return base * self._port_factor
 
     @cached_property
-    def cell_block_width(self) -> float:
+    def cell_block_width(self) -> float:  # repro: dim[return: m]
         return self.cols * self.cell_width
 
     @cached_property
-    def cell_block_height(self) -> float:
+    def cell_block_height(self) -> float:  # repro: dim[return: m]
         return self.rows * self.cell_height
 
     # -- component circuits ---------------------------------------------------
 
     @cached_property
-    def _wordline_capacitance(self) -> float:
+    def _wordline_capacitance(self) -> float:  # repro: dim[return: f]
         """Load on one wordline (F): pass-gate gates plus wire."""
         pass_gates = 2.0 * transistor.gate_capacitance(
             self.tech, self.tech.min_width
@@ -121,7 +121,7 @@ class Subarray:
         return BufferChain(self.tech, self._wordline_capacitance)
 
     @cached_property
-    def _bitline_capacitance(self) -> float:
+    def _bitline_capacitance(self) -> float:  # repro: dim[return: f]
         """Capacitance of one bitline (F): cell drains plus wire."""
         drain = transistor.drain_capacitance(self.tech, self.tech.min_width)
         wire = (
@@ -131,12 +131,12 @@ class Subarray:
         return self.rows * drain + wire
 
     @cached_property
-    def _cell_read_current(self) -> float:
+    def _cell_read_current(self) -> float:  # repro: dim[return: a]
         """Discharge current a cell pulls on its bitline (A)."""
         return self.tech.sram_device.i_on * self.tech.min_width
 
     @property
-    def _sense_swing(self) -> float:
+    def _sense_swing(self) -> float:  # repro: dim[return: v]
         return max(_SWING_FLOOR_V, _SWING_FRACTION * self.tech.vdd)
 
     @cached_property
@@ -153,13 +153,13 @@ class Subarray:
     # -- timing ----------------------------------------------------------------
 
     @cached_property
-    def decoder_delay(self) -> float:
+    def decoder_delay(self) -> float:  # repro: dim[return: s]
         """Row-decode delay up to the wordline driver input (s)."""
         stage = self._decoder_gate.delay(4 * self._decoder_gate.input_capacitance)
         return self._decoder_depth * stage
 
     @cached_property
-    def wordline_delay(self) -> float:
+    def wordline_delay(self) -> float:  # repro: dim[return: s]
         """Wordline driver + wire delay (s)."""
         wire_rc = 0.38 * (
             self.tech.wire_local.rc_per_length_squared
@@ -168,7 +168,7 @@ class Subarray:
         return self._wordline_driver.delay + wire_rc
 
     @cached_property
-    def bitline_delay(self) -> float:
+    def bitline_delay(self) -> float:  # repro: dim[return: s]
         """Time for a cell to develop the sense swing (s).
 
         SRAM cells actively discharge the bitline; eDRAM reads are
@@ -194,12 +194,12 @@ class Subarray:
         return discharge + distributed_rc
 
     @cached_property
-    def senseamp_delay(self) -> float:
+    def senseamp_delay(self) -> float:  # repro: dim[return: s]
         """Sense amplifier resolution time (s)."""
         return _SENSEAMP_DELAY_FO4 * self.tech.fo4_delay
 
     @cached_property
-    def access_delay(self) -> float:
+    def access_delay(self) -> float:  # repro: dim[return: s]
         """Address-in to data-at-subarray-edge delay (s)."""
         mux_delay = self.tech.fo4_delay if self.column_mux_degree > 1 else 0.0
         return (
@@ -211,7 +211,7 @@ class Subarray:
         )
 
     @cached_property
-    def cycle_time(self) -> float:
+    def cycle_time(self) -> float:  # repro: dim[return: s]
         """Minimum random-access cycle: develop swing then precharge (s)."""
         precharge = self.bitline_delay  # symmetric restore
         return self.wordline_delay + self.bitline_delay + precharge
@@ -219,7 +219,7 @@ class Subarray:
     # -- energy ------------------------------------------------------------------
 
     @cached_property
-    def decoder_energy(self) -> float:
+    def decoder_energy(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of one row decode (J)."""
         gate = self._decoder_gate
         per_stage = gate.switching_energy(4 * gate.input_capacitance)
@@ -227,17 +227,17 @@ class Subarray:
         return 2.0 * self._decoder_depth * per_stage
 
     @cached_property
-    def wordline_energy(self) -> float:
+    def wordline_energy(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of firing one wordline (J)."""
         return self._wordline_driver.energy_per_transition
 
     @cached_property
-    def bitline_read_energy(self) -> float:
+    def bitline_read_energy(self) -> float:  # repro: dim[return: j]
         """Energy of a read: all columns swing by the sense margin (J)."""
         per_line = self._bitline_capacitance * self.tech.vdd * self._sense_swing
         return self.cols * per_line
 
-    def bitline_write_energy(self, bits_written: int) -> float:
+    def bitline_write_energy(self, bits_written: int) -> float:  # repro: dim[return: j]
         """Energy of a write driving ``bits_written`` columns rail-to-rail (J)."""
         if bits_written < 0 or bits_written > self.cols:
             raise ValueError(
@@ -249,7 +249,7 @@ class Subarray:
         return bits_written * per_pair
 
     @cached_property
-    def senseamp_energy(self) -> float:
+    def senseamp_energy(self) -> float:  # repro: dim[return: j]
         """Energy of the sense amps that fire on one read (J)."""
         amps = self.cols // self.column_mux_degree
         per_amp = (
@@ -260,7 +260,7 @@ class Subarray:
         return amps * per_amp
 
     @cached_property
-    def _restore_energy(self) -> float:
+    def _restore_energy(self) -> float:  # repro: dim[return: j]
         """Row-restore energy after a destructive eDRAM read (J)."""
         if not self.is_edram:
             return 0.0
@@ -269,7 +269,7 @@ class Subarray:
         return 0.5 * self.cols * self._bitline_capacitance * self.tech.vdd**2
 
     @cached_property
-    def read_energy(self) -> float:
+    def read_energy(self) -> float:  # repro: dim[return: j]
         """Total dynamic energy of one read access (J)."""
         return (
             self.decoder_energy
@@ -280,7 +280,7 @@ class Subarray:
         )
 
     @cached_property
-    def write_energy(self) -> float:
+    def write_energy(self) -> float:  # repro: dim[return: j]
         """Total dynamic energy of one write access (J)."""
         bits = self.cols // self.column_mux_degree
         return (
@@ -292,7 +292,7 @@ class Subarray:
     # -- leakage -------------------------------------------------------------------
 
     @cached_property
-    def cell_leakage_power(self) -> float:
+    def cell_leakage_power(self) -> float:  # repro: dim[return: w]
         """Static power of the storage cells (W).
 
         SRAM cells use longer-channel, leakage-optimized devices; two
@@ -313,7 +313,7 @@ class Subarray:
         return self.rows * self.cols * per_cell
 
     @cached_property
-    def refresh_power(self) -> float:
+    def refresh_power(self) -> float:  # repro: dim[return: w]
         """Average power to rewrite every eDRAM row each retention (W)."""
         if not self.is_edram:
             return 0.0
@@ -323,7 +323,7 @@ class Subarray:
         return self.rows * row_energy / EDRAM_RETENTION_TIME_S
 
     @cached_property
-    def peripheral_leakage_power(self) -> float:
+    def peripheral_leakage_power(self) -> float:  # repro: dim[return: w]
         """Static power of decoder, drivers, sense amps, precharge (W)."""
         decoder = self.rows * self._decoder_gate.leakage_power * 0.5
         drivers = self._wordline_driver.leakage_power * min(self.rows, 8)
@@ -337,14 +337,14 @@ class Subarray:
         return decoder + drivers + senseamps + precharge
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Total static power (W)."""
         return self.cell_leakage_power + self.peripheral_leakage_power
 
     # -- area -----------------------------------------------------------------------
 
     @cached_property
-    def decoder_area(self) -> float:
+    def decoder_area(self) -> float:  # repro: dim[return: m2]
         """Area of the row-decode strip (m^2)."""
         return (
             self.rows * self._decoder_gate.area
@@ -352,7 +352,7 @@ class Subarray:
         )
 
     @cached_property
-    def senseamp_area(self) -> float:
+    def senseamp_area(self) -> float:  # repro: dim[return: m2]
         """Area of the precharge + sense-amp + mux strip (m^2)."""
         inv = Gate(self.tech)
         amps = self.cols // self.column_mux_degree
@@ -362,18 +362,18 @@ class Subarray:
         )
 
     @cached_property
-    def width(self) -> float:
+    def width(self) -> float:  # repro: dim[return: m]
         """Physical width of the subarray including the decode strip (m)."""
         decode_strip = self.decoder_area / max(self.cell_block_height, 1e-9)
         return self.cell_block_width + decode_strip
 
     @cached_property
-    def height(self) -> float:
+    def height(self) -> float:  # repro: dim[return: m]
         """Physical height including the sense-amp strip (m)."""
         sa_strip = self.senseamp_area / max(self.cell_block_width, 1e-9)
         return self.cell_block_height + sa_strip
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Total footprint (m^2)."""
         return self.width * self.height

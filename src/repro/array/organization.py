@@ -159,48 +159,50 @@ def _proxy_metrics(
     n_sub = org.ndwl * org.ndbl
     port_factor = spec.ports.area_cost_factor
     if spec.cell_type is CellType.EDRAM:
-        cell_w = tech.edram_cell_width * port_factor
-        cell_h = tech.edram_cell_height * port_factor
+        cell_width_m = tech.edram_cell_width * port_factor
+        cell_height_m = tech.edram_cell_height * port_factor
     else:
-        cell_w = tech.sram_cell_width * port_factor
-        cell_h = tech.sram_cell_height * port_factor
-    block_w = cols * cell_w
-    block_h = rows * cell_h
-    bank_w = org.ndwl * block_w
-    bank_h = org.ndbl * block_h
+        cell_width_m = tech.sram_cell_width * port_factor
+        cell_height_m = tech.sram_cell_height * port_factor
+    block_width_m = cols * cell_width_m
+    block_height_m = rows * cell_height_m
+    bank_width_m = org.ndwl * block_width_m
+    bank_height_m = org.ndbl * block_height_m
 
     wire = tech.wire_local
     drain = transistor.drain_capacitance(tech, tech.min_width)
-    bitline_cap = rows * drain + wire.capacitance_per_length * block_h
+    bitline_cap = (
+        rows * drain + wire.capacitance_per_length * block_height_m
+    )
     swing = max(0.08, 0.125 * tech.vdd)
     cell_current = tech.sram_device.i_on * tech.min_width
     # The inter-subarray H-tree rides the memoized repeater solution, so
     # its velocity/energy figures are one dictionary lookup each.
     htree = RepeatedWire(tech, WireType.SEMI_GLOBAL)
-    htree_length = 0.25 * (bank_w + bank_h)
+    htree_length_m = 0.25 * (bank_width_m + bank_height_m)
 
     delay = (
         math.log2(max(2, rows)) * tech.fo4_delay              # decoder
         + bitline_cap * swing / cell_current                  # discharge
-        + 0.38 * wire.resistance_per_length * block_h * bitline_cap
-        + 0.38 * wire.rc_per_length_squared * block_w**2      # wordline
-        + 2.0 * htree.delay_per_length * htree_length         # H-tree
+        + 0.38 * wire.resistance_per_length * block_height_m * bitline_cap
+        + 0.38 * wire.rc_per_length_squared * block_width_m**2  # wordline
+        + 2.0 * htree.delay_per_length * htree_length_m       # H-tree
     )
     bits = 0.5 * (spec.address_bits + spec.routed_bits)
     energy = (
         org.ndwl * cols * bitline_cap * tech.vdd * swing      # bitlines
-        + bits * htree.energy_per_length * htree_length       # H-tree
+        + bits * htree.energy_per_length * htree_length_m     # H-tree
     )
     # Cell leakage is organization-invariant (total cell count is fixed);
     # rank on the peripheral strips and H-tree repeaters instead.
     leakage = (
         n_sub * (rows + 2.0 * cols)
-        + spec.routed_bits * htree.leakage_power_per_length * htree_length
+        + spec.routed_bits * htree.leakage_power_per_length * htree_length_m
         / max(1e-30, tech.subthreshold_leakage_power(tech.min_width))
     )
-    area = bank_w * bank_h + n_sub * (
-        rows * 6.0 * tech.feature_size * cell_h
-        + cols * 14.0 * tech.feature_size * cell_w
+    area = bank_width_m * bank_height_m + n_sub * (
+        rows * 6.0 * tech.feature_size * cell_height_m
+        + cols * 14.0 * tech.feature_size * cell_width_m
     )
     return delay, energy, leakage, area
 

@@ -33,7 +33,7 @@ SHORT_CIRCUIT_FRACTION = 0.10
 _CELL_TRACK_HEIGHT = 12.0
 
 #: Contacted gate pitch in units of the feature size.
-_CONTACTED_PITCH_F = 2.5
+_CONTACTED_PITCH_FEATURES = 2.5
 
 
 class GateKind(str, Enum):
@@ -52,11 +52,11 @@ class GateConstants(NamedTuple):
     same handful of gate designs thousands of times per chip.
     """
 
-    input_capacitance: float
-    self_capacitance: float
-    drive_resistance: float
-    leakage_power: float
-    area: float
+    input_capacitance: float  # repro: dim[input_capacitance: f]
+    self_capacitance: float  # repro: dim[self_capacitance: f]
+    drive_resistance: float  # repro: dim[drive_resistance: ohm]
+    leakage_power: float  # repro: dim[leakage_power: w]
+    area: float  # repro: dim[area: m2]
 
 
 #: Process-wide memo of :class:`GateConstants`, keyed by the (frozen,
@@ -77,8 +77,8 @@ class Gate:
 
     tech: Technology
     kind: GateKind = GateKind.INV
-    fanin: int = 1
-    size: float = 1.0
+    fanin: int = 1  # repro: dim[fanin: 1]
+    size: float = 1.0  # repro: dim[size: 1]
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -93,7 +93,7 @@ class Gate:
     # -- transistor sizing --------------------------------------------------
 
     @property
-    def _nmos_width(self) -> float:
+    def _nmos_width(self) -> float:  # repro: dim[return: m]
         """Width of each NMOS device (m), sized to match min-inverter drive."""
         base = self.tech.min_width * self.size
         if self.kind is GateKind.NAND:
@@ -102,7 +102,7 @@ class Gate:
         return base
 
     @property
-    def _pmos_width(self) -> float:
+    def _pmos_width(self) -> float:  # repro: dim[return: m]
         """Width of each PMOS device (m)."""
         ratio = self.tech.device.n_to_p_ratio
         base = self.tech.min_width * self.size * ratio
@@ -138,26 +138,26 @@ class Gate:
         )
 
     @property
-    def input_capacitance(self) -> float:
+    def input_capacitance(self) -> float:  # repro: dim[return: f]
         """Capacitance presented to one input pin (F)."""
         return self.constants.input_capacitance
 
     @property
-    def self_capacitance(self) -> float:
+    def self_capacitance(self) -> float:  # repro: dim[return: f]
         """Parasitic output (drain) capacitance (F)."""
         return self.constants.self_capacitance
 
     @property
-    def drive_resistance(self) -> float:
+    def drive_resistance(self) -> float:  # repro: dim[return: ohm]
         """Effective worst-case output resistance (ohm)."""
         return self.constants.drive_resistance
 
-    def _compute_input_capacitance(self) -> float:
+    def _compute_input_capacitance(self) -> float:  # repro: dim[return: f]
         return transistor.gate_capacitance(
             self.tech, self._nmos_width
         ) + transistor.gate_capacitance(self.tech, self._pmos_width)
 
-    def _compute_self_capacitance(self) -> float:
+    def _compute_self_capacitance(self) -> float:  # repro: dim[return: f]
         # One NMOS and one PMOS drain hang on the output per input leg; in a
         # multi-input gate roughly half the legs' junctions sit on the
         # output node (the rest are internal stack nodes).
@@ -168,21 +168,25 @@ class Gate:
             return per_leg
         return per_leg * self.fanin / 2.0
 
-    def _compute_drive_resistance(self) -> float:
+    def _compute_drive_resistance(self) -> float:  # repro: dim[return: ohm]
         r_n = transistor.on_resistance(self.tech, self._nmos_width)
         if self.kind is GateKind.NAND:
             r_n *= self.fanin  # series stack
         # The pull-up path is sized to match, so the worst case is ~r_n.
         return r_n
 
-    def delay(self, load_capacitance: float) -> float:
+    def delay(
+        self, load_capacitance: float
+    ) -> float:  # repro: dim[load_capacitance: f, return: s]
         """Propagation delay into a capacitive load (s)."""
         if load_capacitance < 0:
             raise ValueError("load capacitance must be non-negative")
         c_total = self.self_capacitance + load_capacitance
         return DELAY_DERATE * 0.69 * self.drive_resistance * c_total
 
-    def switching_energy(self, load_capacitance: float) -> float:
+    def switching_energy(
+        self, load_capacitance: float
+    ) -> float:  # repro: dim[load_capacitance: f, return: j]
         """Dynamic energy of one output transition incl. short circuit (J)."""
         if load_capacitance < 0:
             raise ValueError("load capacitance must be non-negative")
@@ -193,7 +197,7 @@ class Gate:
         return (1.0 + SHORT_CIRCUIT_FRACTION) * c_total * vdd * vdd
 
     @property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Average subthreshold + gate leakage of the gate (W).
 
         Uses the standard stack-averaged approximation: on average one of
@@ -202,7 +206,7 @@ class Gate:
         """
         return self.constants.leakage_power
 
-    def _compute_leakage_power(self) -> float:
+    def _compute_leakage_power(self) -> float:  # repro: dim[return: w]
         sub_n = transistor.subthreshold_leakage_power(
             self.tech, self._nmos_width
         )
@@ -220,13 +224,13 @@ class Gate:
     # -- physical -----------------------------------------------------------
 
     @property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Standard-cell footprint (m^2)."""
         return self.constants.area
 
-    def _compute_area(self) -> float:
+    def _compute_area(self) -> float:  # repro: dim[return: m2]
         height = _CELL_TRACK_HEIGHT * self.tech.wire_local.pitch
-        pitch = _CONTACTED_PITCH_F * self.tech.feature_size
+        pitch = _CONTACTED_PITCH_FEATURES * self.tech.feature_size
         # Wide (sized-up) devices fold into multiple fingers; up to 2x drive
         # fits in a unit-width cell.
         fold = max(1.0, self.size / 2.0)

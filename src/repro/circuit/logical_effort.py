@@ -49,8 +49,8 @@ class BufferChain:
     """
 
     tech: Technology
-    load_capacitance: float
-    input_size: float = 1.0
+    load_capacitance: float  # repro: dim[load_capacitance: f]
+    input_size: float = 1.0  # repro: dim[input_size: 1]
 
     def __post_init__(self) -> None:
         if self.load_capacitance < 0:
@@ -97,12 +97,12 @@ class BufferChain:
             )
 
     @property
-    def input_capacitance(self) -> float:
+    def input_capacitance(self) -> float:  # repro: dim[return: f]
         """Capacitance presented to the driver of this chain (F)."""
         return self._first_gate.input_capacitance
 
     @cached_property
-    def delay(self) -> float:
+    def delay(self) -> float:  # repro: dim[return: s]
         """Propagation delay through the chain into the load (s)."""
         total = 0.0
         gates = self.stages
@@ -115,7 +115,7 @@ class BufferChain:
         return total
 
     @cached_property
-    def energy_per_transition(self) -> float:
+    def energy_per_transition(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of one full propagation incl. the load (J)."""
         total = 0.0
         gates = self.stages
@@ -128,11 +128,11 @@ class BufferChain:
         return total
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Total static power of the chain (W)."""
         return sum(gate.leakage_power for gate in self.stages)
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Total layout area of the chain (m^2)."""
         return sum(gate.area for gate in self.stages)

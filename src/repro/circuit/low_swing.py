@@ -45,7 +45,7 @@ class LowSwingLink:
     """
 
     tech: Technology
-    length: float
+    length: float  # repro: dim[length: m]
     wire_type: WireType = WireType.GLOBAL
 
     def __post_init__(self) -> None:
@@ -61,7 +61,7 @@ class LowSwingLink:
         return self.tech.wire(self.wire_type)
 
     @cached_property
-    def _pair_capacitance(self) -> float:
+    def _pair_capacitance(self) -> float:  # repro: dim[return: f]
         """Total capacitance of the differential pair (F)."""
         return 2.0 * self._wire.capacitance_per_length * self.length
 
@@ -70,7 +70,7 @@ class LowSwingLink:
         return Gate(self.tech, GateKind.INV, size=_DRIVER_SIZE)
 
     @cached_property
-    def delay(self) -> float:
+    def delay(self) -> float:  # repro: dim[return: s]
         """End-to-end latency: RC flight plus sense resolution (s)."""
         r_wire = self._wire.resistance_per_length * self.length
         c_wire = self._wire.capacitance_per_length * self.length
@@ -82,7 +82,7 @@ class LowSwingLink:
         return flight + sense
 
     @cached_property
-    def energy_per_bit(self) -> float:
+    def energy_per_bit(self) -> float:  # repro: dim[return: j]
         """Dynamic energy per transferred bit (J).
 
         The pair swings by ``_SWING_V`` rather than Vdd; the receiver
@@ -100,7 +100,7 @@ class LowSwingLink:
         return wire + receiver + driver
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Static power of driver + receiver (W)."""
         inv = Gate(self.tech)
         return (
@@ -109,7 +109,7 @@ class LowSwingLink:
         )
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Driver + receiver silicon (the pair routes over logic) (m^2)."""
         inv = Gate(self.tech)
         return self._driver.area + _RECEIVER_AREA_EQUIV * inv.area

@@ -51,7 +51,7 @@ class RepeatedWire:
 
     tech: Technology
     wire_type: WireType = WireType.GLOBAL
-    delay_penalty: float = 1.0
+    delay_penalty: float = 1.0  # repro: dim[delay_penalty: 1]
 
     def __post_init__(self) -> None:
         if self.delay_penalty < 1.0:
@@ -61,14 +61,16 @@ class RepeatedWire:
     def wire(self) -> WireParameters:
         return self.tech.wire(self.wire_type)
 
-    def _segment_delay(self, size: float, spacing: float) -> float:
+    def _segment_delay(
+        self, size: float, spacing: float
+    ) -> float:  # repro: dim[size: 1, spacing: m, return: s]
         """Delay of one repeater + wire segment (s)."""
         gate = Gate(self.tech, GateKind.INV, size=size)
-        r_w = self.wire.resistance_per_length * spacing
-        c_w = self.wire.capacitance_per_length * spacing
+        r_seg_ohm = self.wire.resistance_per_length * spacing
+        c_seg_f = self.wire.capacitance_per_length * spacing
         # Driver charges its own parasitics, the wire, and the next gate.
-        driver = gate.delay(c_w + gate.input_capacitance)
-        wire_term = r_w * (0.38 * c_w + 0.69 * gate.input_capacitance)
+        driver = gate.delay(c_seg_f + gate.input_capacitance)
+        wire_term = r_seg_ohm * (0.38 * c_seg_f + 0.69 * gate.input_capacitance)
         return driver + wire_term
 
     def closed_form_optimum(self) -> tuple[float, float]:
@@ -82,17 +84,17 @@ class RepeatedWire:
         :attr:`_optimum`.
         """
         unit = Gate(self.tech, GateKind.INV, size=1.0).constants
-        r_drive = DELAY_DERATE * 0.69 * unit.drive_resistance
-        c_w = self.wire.capacitance_per_length
-        r_w = self.wire.resistance_per_length
-        coeff_a = r_drive * (
+        r_drive_ohm = DELAY_DERATE * 0.69 * unit.drive_resistance
+        c_wire_per_m = self.wire.capacitance_per_length
+        r_wire_per_m = self.wire.resistance_per_length
+        coeff_a_s = r_drive_ohm * (
             unit.self_capacitance + unit.input_capacitance
         )
-        coeff_b = r_drive * c_w
-        coeff_c = 0.38 * r_w * c_w
-        coeff_e = 0.69 * r_w * unit.input_capacitance
+        coeff_b = r_drive_ohm * c_wire_per_m
+        coeff_c = 0.38 * r_wire_per_m * c_wire_per_m
+        coeff_e = 0.69 * r_wire_per_m * unit.input_capacitance
         size = math.sqrt(coeff_b / coeff_e)
-        spacing = math.sqrt(coeff_a / coeff_c)
+        spacing = math.sqrt(coeff_a_s / coeff_c)
         return size, spacing
 
     def _grid_window(self) -> tuple[range, range]:
@@ -159,11 +161,12 @@ class RepeatedWire:
 
         # Ranking by (value, i, j) reproduces the strict-improvement,
         # row-major tie-breaking of a full sweep regardless of the window.
-        best_value, best_i, best_j = min(
+        best_value, best_size_idx, best_spacing_idx = min(
             (delay_per_length(i, j), i, j)
             for i in size_window for j in spacing_window
         )
-        best = (_SIZES[best_i], _SPACINGS[best_j], best_value)
+        best = (_SIZES[best_size_idx], _SPACINGS[best_spacing_idx],
+                best_value)
         if self.delay_penalty <= 1.0:  # validated >= 1.0: no back-off
             return best
         # Energy back-off: among design points within the delay budget,
@@ -188,16 +191,18 @@ class RepeatedWire:
         return self._optimum[0]
 
     @property
-    def repeater_spacing(self) -> float:
+    def repeater_spacing(self) -> float:  # repro: dim[return: m]
         """Chosen distance between repeaters (m)."""
         return self._optimum[1]
 
     @property
-    def delay_per_length(self) -> float:
+    def delay_per_length(self) -> float:  # repro: dim[return: s/m]
         """Signal velocity figure (s/m)."""
         return self._optimum[2]
 
-    def delay(self, length: float) -> float:
+    def delay(
+        self, length: float
+    ) -> float:  # repro: dim[length: m, return: s]
         """Propagation delay over ``length`` meters (s)."""
         if length < 0:
             raise ValueError("length must be non-negative")
@@ -208,7 +213,7 @@ class RepeatedWire:
         return Gate(self.tech, GateKind.INV, size=self.repeater_size)
 
     @cached_property
-    def energy_per_length(self) -> float:
+    def energy_per_length(self) -> float:  # repro: dim[return: j/m]
         """Dynamic energy per transition per meter of wire (J/m)."""
         gate = self._repeater_gate
         wire_energy = (
@@ -219,29 +224,35 @@ class RepeatedWire:
         )
         return wire_energy + repeater_energy
 
-    def energy(self, length: float) -> float:
+    def energy(
+        self, length: float
+    ) -> float:  # repro: dim[length: m, return: j]
         """Dynamic energy of one transition across ``length`` meters (J)."""
         if length < 0:
             raise ValueError("length must be non-negative")
         return self.energy_per_length * length
 
     @cached_property
-    def leakage_power_per_length(self) -> float:
+    def leakage_power_per_length(self) -> float:  # repro: dim[return: w/m]
         """Static power of the repeaters per meter (W/m)."""
         return self._repeater_gate.leakage_power / self.repeater_spacing
 
-    def leakage_power(self, length: float) -> float:
+    def leakage_power(
+        self, length: float
+    ) -> float:  # repro: dim[length: m, return: w]
         """Static power of the repeaters along ``length`` meters (W)."""
         if length < 0:
             raise ValueError("length must be non-negative")
         return self.leakage_power_per_length * length
 
     @cached_property
-    def repeater_area_per_length(self) -> float:
+    def repeater_area_per_length(self) -> float:  # repro: dim[return: m2/m]
         """Silicon area of the repeaters per meter (m^2/m)."""
         return self._repeater_gate.area / self.repeater_spacing
 
-    def repeater_area(self, length: float) -> float:
+    def repeater_area(
+        self, length: float
+    ) -> float:  # repro: dim[length: m, return: m2]
         """Repeater silicon area along ``length`` meters (m^2)."""
         if length < 0:
             raise ValueError("length must be non-negative")

@@ -10,24 +10,30 @@ from __future__ import annotations
 from repro.tech import Technology
 
 
-def _check_width(width: float) -> None:
+def _check_width(width: float) -> None:  # repro: dim[width: m]
     if width <= 0:
         raise ValueError(f"transistor width must be positive, got {width}")
 
 
-def gate_capacitance(tech: Technology, width: float) -> float:
+def gate_capacitance(
+    tech: Technology, width: float
+) -> float:  # repro: dim[width: m, return: f]
     """Gate capacitance (intrinsic + fringe) of a device (F)."""
     _check_width(width)
     return tech.device.c_gate_total * width
 
 
-def drain_capacitance(tech: Technology, width: float) -> float:
+def drain_capacitance(
+    tech: Technology, width: float
+) -> float:  # repro: dim[width: m, return: f]
     """Source/drain junction capacitance of a device (F)."""
     _check_width(width)
     return tech.device.c_junction * width
 
 
-def on_resistance(tech: Technology, width: float) -> float:
+def on_resistance(
+    tech: Technology, width: float
+) -> float:  # repro: dim[width: m, return: ohm]
     """Effective switching on-resistance of an NMOS device (ohm)."""
     _check_width(width)
     return tech.device.r_on_per_width / width
@@ -35,7 +41,7 @@ def on_resistance(tech: Technology, width: float) -> float:
 
 def subthreshold_leakage_power(
     tech: Technology, nmos_width: float, *, long_channel: bool = False
-) -> float:
+) -> float:  # repro: dim[nmos_width: m, return: w]
     """Subthreshold leakage power of one NMOS device at Vdd (W).
 
     Args:
@@ -51,7 +57,9 @@ def subthreshold_leakage_power(
     return power
 
 
-def gate_leakage_power(tech: Technology, width: float) -> float:
+def gate_leakage_power(
+    tech: Technology, width: float
+) -> float:  # repro: dim[width: m, return: w]
     """Gate-oxide tunneling leakage power of one device (W)."""
     _check_width(width)
     return tech.device.i_gate * width * tech.vdd

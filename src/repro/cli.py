@@ -273,7 +273,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import format_json, format_text, lint_paths
 
     try:
-        result = lint_paths(args.paths, disable=args.disable)
+        result = lint_paths(
+            args.paths, disable=args.disable,
+            dimensional=args.dimensional,
+        )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from exc
     if args.format == "json":
@@ -402,6 +405,11 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument(
         "--disable", action="append", default=[], metavar="RULE",
         help="disable a rule id, e.g. --disable NUM001 (repeatable)",
+    )
+    lint.add_argument(
+        "--dimensional", action="store_true",
+        help="also run the interprocedural physical-dimension inference "
+             "pass (DIM001-DIM004)",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -39,8 +39,8 @@ class FunctionalUnitKind(str, Enum):
 class _ReferencePoint:
     """Calibrated per-unit datapoint at the reference node (64-bit)."""
 
-    energy_per_op: float  # J
-    area: float  # m^2
+    energy_per_op: float  # repro: dim[energy_per_op: j]
+    area: float  # repro: dim[area: m2]
 
 
 # 90 nm, 64-bit units. The energies cover the whole execution lane — the
@@ -88,7 +88,7 @@ class FunctionalUnit:
         return ratio**1.5  # multiplier arrays grow superlinearly
 
     @cached_property
-    def energy_per_op(self) -> float:
+    def energy_per_op(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of one operation on one unit (J)."""
         ref = _REFERENCE[self.kind]
         scale = dynamic_energy_scale(
@@ -97,7 +97,7 @@ class FunctionalUnit:
         return ref.energy_per_op * scale * self._width_factor
 
     @cached_property
-    def area_per_unit(self) -> float:
+    def area_per_unit(self) -> float:  # repro: dim[return: m2]
         """Silicon area of one unit (m^2)."""
         ref = _REFERENCE[self.kind]
         return (
@@ -107,24 +107,24 @@ class FunctionalUnit:
         )
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Total area of the bank (m^2)."""
         return self.count * self.area_per_unit
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Static power of the bank, derived from target-node devices (W)."""
         gate = Gate(self.tech, GateKind.NAND, fanin=2)
         leakage_per_area = gate.leakage_power / gate.area
         return self.area * leakage_per_area * _LEAKAGE_DENSITY_FACTOR
 
-    def dynamic_power(self, ops_per_second: float) -> float:
+    def dynamic_power(self, ops_per_second: float) -> float:  # repro: dim[ops_per_second: hz, return: w]
         """Runtime dynamic power of the bank (W)."""
         if ops_per_second < 0:
             raise ValueError("ops_per_second must be non-negative")
         return ops_per_second * self.energy_per_op
 
-    def peak_dynamic_power(self, clock_hz: float, duty: float = 1.0) -> float:
+    def peak_dynamic_power(self, clock_hz: float, duty: float = 1.0) -> float:  # repro: dim[clock_hz: hz, duty: 1, return: w]
         """TDP-style dynamic power: every unit busy ``duty`` of cycles (W)."""
         if clock_hz < 0 or not 0.0 <= duty <= 1.0:
             raise ValueError("clock must be >= 0 and duty within [0, 1]")

@@ -25,7 +25,7 @@ class Link:
 
     tech: Technology
     flit_bits: int
-    length: float
+    length: float  # repro: dim[length: m]
     signaling: LinkSignaling = LinkSignaling.FULL_SWING
 
     def __post_init__(self) -> None:
@@ -47,28 +47,28 @@ class Link:
         return LowSwingLink(self.tech, length=max(self.length, 1e-5))
 
     @cached_property
-    def delay(self) -> float:
+    def delay(self) -> float:  # repro: dim[return: s]
         """Traversal latency (s)."""
         if self.is_low_swing:
             return self._low_swing_bit.delay
         return self._wire.delay(self.length)
 
     @cached_property
-    def energy_per_flit(self) -> float:
+    def energy_per_flit(self) -> float:  # repro: dim[return: j]
         """Dynamic energy moving one flit (random data) (J)."""
         if self.is_low_swing:
             return 0.5 * self.flit_bits * self._low_swing_bit.energy_per_bit
         return 0.5 * self.flit_bits * self._wire.energy(self.length)
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Driver/repeater static power (W)."""
         if self.is_low_swing:
             return self.flit_bits * self._low_swing_bit.leakage_power
         return self.flit_bits * self._wire.leakage_power(self.length)
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Link silicon area (wires route over logic) (m^2)."""
         if self.is_low_swing:
             return self.flit_bits * self._low_swing_bit.area

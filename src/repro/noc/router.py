@@ -69,7 +69,7 @@ class Router:
     # -- per-event costs ---------------------------------------------------------
 
     @cached_property
-    def energy_per_flit(self) -> float:
+    def energy_per_flit(self) -> float:  # repro: dim[return: j]
         """Dynamic energy of one flit traversing the router (J)."""
         buffer_energy = (
             self.input_buffer.write_energy + self.input_buffer.read_energy
@@ -80,7 +80,7 @@ class Router:
         return buffer_energy + self.crossbar.energy_per_transfer + arbitration
 
     @cached_property
-    def clock_energy_per_cycle(self) -> float:
+    def clock_energy_per_cycle(self) -> float:  # repro: dim[return: j]
         """Always-on clocking of buffers and arbiter state (J/cycle)."""
         total = self.n_ports * self.input_buffer.clock_energy_per_cycle
         total += self.switch_arbiter.clock_energy_per_cycle
@@ -89,7 +89,7 @@ class Router:
         return total
 
     @cached_property
-    def leakage_power(self) -> float:
+    def leakage_power(self) -> float:  # repro: dim[return: w]
         """Static power of the whole router (W)."""
         total = self.n_ports * self.input_buffer.leakage_power
         total += self.crossbar.leakage_power
@@ -99,7 +99,7 @@ class Router:
         return total
 
     @cached_property
-    def area(self) -> float:
+    def area(self) -> float:  # repro: dim[return: m2]
         """Router footprint (m^2)."""
         total = self.n_ports * self.input_buffer.area
         total += self.crossbar.area

@@ -69,26 +69,26 @@ class DeviceParameters:
 
     node_nm: int
     device_type: DeviceType
-    l_phy: float
-    vdd: float
-    vth: float
-    c_gate_ideal: float
-    c_fringe: float
-    c_junction: float
-    i_on: float
-    i_off: float
-    i_gate: float
-    n_to_p_ratio: float
-    long_channel_leakage_reduction: float
+    l_phy: float  # repro: dim[l_phy: m]
+    vdd: float  # repro: dim[vdd: v]
+    vth: float  # repro: dim[vth: v]
+    c_gate_ideal: float  # repro: dim[c_gate_ideal: f/m]
+    c_fringe: float  # repro: dim[c_fringe: f/m]
+    c_junction: float  # repro: dim[c_junction: f/m]
+    i_on: float  # repro: dim[i_on: a/m]
+    i_off: float  # repro: dim[i_off: a/m]
+    i_gate: float  # repro: dim[i_gate: a/m]
+    n_to_p_ratio: float  # repro: dim[n_to_p_ratio: 1]
+    long_channel_leakage_reduction: float  # repro: dim[long_channel_leakage_reduction: 1]
     temperature_k: float = LEAKAGE_REFERENCE_TEMPERATURE_K
 
     @property
-    def c_gate_total(self) -> float:
+    def c_gate_total(self) -> float:  # repro: dim[return: f/m]
         """Total gate capacitance per width, intrinsic plus parasitic (F/m)."""
         return self.c_gate_ideal + self.c_fringe
 
     @property
-    def r_on_per_width(self) -> float:
+    def r_on_per_width(self) -> float:  # repro: dim[return: ohm*m]
         """Effective on-resistance x width (ohm * m).
 
         Uses the standard effective-resistance approximation
@@ -97,7 +97,9 @@ class DeviceParameters:
         """
         return 0.75 * self.vdd / self.i_on
 
-    def at_voltage(self, vdd: float) -> "DeviceParameters":
+    def at_voltage(
+        self, vdd: float
+    ) -> "DeviceParameters":  # repro: dim[vdd: v]
         """Return a copy operating at a different supply voltage.
 
         Drive current follows the alpha-power law

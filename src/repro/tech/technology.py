@@ -64,7 +64,7 @@ class Technology:
     temperature_k: float = DEFAULT_TEMPERATURE_K
     device_type: DeviceType = DeviceType.HP
     sram_device_type: DeviceType | None = None
-    vdd_override: float | None = None
+    vdd_override: float | None = None  # repro: dim[vdd_override: v]
 
     def __post_init__(self) -> None:
         if self.node_nm not in SUPPORTED_NODES_NM:
@@ -99,12 +99,12 @@ class Technology:
         return params
 
     @property
-    def vdd(self) -> float:
+    def vdd(self) -> float:  # repro: dim[return: v]
         """Nominal supply voltage of the logic devices (V)."""
         return self.device.vdd
 
     @property
-    def feature_size(self) -> float:
+    def feature_size(self) -> float:  # repro: dim[return: m]
         """Feature size in meters."""
         return self.node_nm * 1e-9
 
@@ -129,34 +129,34 @@ class Technology:
     # -- derived transistor quantities -------------------------------------
 
     @property
-    def min_width(self) -> float:
+    def min_width(self) -> float:  # repro: dim[return: m]
         """Width of a minimum-size NMOS transistor (m)."""
         return MIN_WIDTH_FEATURE_MULTIPLE * self.feature_size
 
     @cached_property
-    def c_gate_min(self) -> float:
+    def c_gate_min(self) -> float:  # repro: dim[return: f]
         """Gate capacitance of a minimum-size NMOS (F)."""
         return self.device.c_gate_total * self.min_width
 
     @cached_property
-    def c_inverter_min_input(self) -> float:
+    def c_inverter_min_input(self) -> float:  # repro: dim[return: f]
         """Input capacitance of a minimum inverter (NMOS + sized PMOS) (F)."""
         pmos_width = self.min_width * self.device.n_to_p_ratio
         return self.device.c_gate_total * (self.min_width + pmos_width)
 
     @cached_property
-    def c_inverter_min_drain(self) -> float:
+    def c_inverter_min_drain(self) -> float:  # repro: dim[return: f]
         """Drain (self-load) capacitance of a minimum inverter (F)."""
         pmos_width = self.min_width * self.device.n_to_p_ratio
         return self.device.c_junction * (self.min_width + pmos_width)
 
     @cached_property
-    def r_inverter_min(self) -> float:
+    def r_inverter_min(self) -> float:  # repro: dim[return: ohm]
         """Effective pull-down resistance of a minimum inverter (ohm)."""
         return self.device.r_on_per_width / self.min_width
 
     @cached_property
-    def fo4_delay(self) -> float:
+    def fo4_delay(self) -> float:  # repro: dim[return: s]
         """Fanout-of-4 inverter delay (s): the canonical speed metric."""
         c_load = 4.0 * self.c_inverter_min_input + self.c_inverter_min_drain
         return 0.69 * self.r_inverter_min * c_load
@@ -164,44 +164,44 @@ class Technology:
     # -- SRAM / CAM cell geometry ------------------------------------------
 
     @property
-    def sram_cell_width(self) -> float:
+    def sram_cell_width(self) -> float:  # repro: dim[return: m]
         """6T SRAM cell width (m)."""
         height = (SRAM_CELL_AREA_F2 / SRAM_CELL_ASPECT_RATIO) ** 0.5
         return height * SRAM_CELL_ASPECT_RATIO * self.feature_size
 
     @property
-    def sram_cell_height(self) -> float:
+    def sram_cell_height(self) -> float:  # repro: dim[return: m]
         """6T SRAM cell height (m)."""
         return (SRAM_CELL_AREA_F2 / SRAM_CELL_ASPECT_RATIO) ** 0.5 * (
             self.feature_size
         )
 
     @property
-    def sram_cell_area(self) -> float:
+    def sram_cell_area(self) -> float:  # repro: dim[return: m2]
         """6T SRAM cell area (m^2)."""
         return SRAM_CELL_AREA_F2 * self.feature_size**2
 
     @property
-    def edram_cell_width(self) -> float:
+    def edram_cell_width(self) -> float:  # repro: dim[return: m]
         """1T1C eDRAM cell width (m)."""
         height = (EDRAM_CELL_AREA_F2 / EDRAM_CELL_ASPECT_RATIO) ** 0.5
         return height * EDRAM_CELL_ASPECT_RATIO * self.feature_size
 
     @property
-    def edram_cell_height(self) -> float:
+    def edram_cell_height(self) -> float:  # repro: dim[return: m]
         """1T1C eDRAM cell height (m)."""
         return (EDRAM_CELL_AREA_F2 / EDRAM_CELL_ASPECT_RATIO) ** 0.5 * (
             self.feature_size
         )
 
     @property
-    def cam_cell_width(self) -> float:
+    def cam_cell_width(self) -> float:  # repro: dim[return: m]
         """CAM cell width (m)."""
         height = (CAM_CELL_AREA_F2 / CAM_CELL_ASPECT_RATIO) ** 0.5
         return height * CAM_CELL_ASPECT_RATIO * self.feature_size
 
     @property
-    def cam_cell_height(self) -> float:
+    def cam_cell_height(self) -> float:  # repro: dim[return: m]
         """CAM cell height (m)."""
         return (CAM_CELL_AREA_F2 / CAM_CELL_ASPECT_RATIO) ** 0.5 * (
             self.feature_size
@@ -209,7 +209,9 @@ class Technology:
 
     # -- leakage helpers ----------------------------------------------------
 
-    def subthreshold_leakage_power(self, nmos_width: float) -> float:
+    def subthreshold_leakage_power(
+        self, nmos_width: float
+    ) -> float:  # repro: dim[nmos_width: m, return: w]
         """Static subthreshold power of an (averaged) gate stack (W).
 
         For a CMOS gate, on average half the devices leak; the PMOS stack is
@@ -222,7 +224,9 @@ class Technology:
         i_leak = self.device.i_off * nmos_width
         return i_leak * self.vdd
 
-    def gate_leakage_power(self, nmos_width: float) -> float:
+    def gate_leakage_power(
+        self, nmos_width: float
+    ) -> float:  # repro: dim[nmos_width: m, return: w]
         """Static gate-tunneling power for a device of given width (W)."""
         if nmos_width < 0:
             raise ValueError(f"width must be non-negative, got {nmos_width}")
@@ -241,7 +245,7 @@ class Technology:
             sram_device_type=self.sram_device_type,
         )
 
-    def at_voltage(self, vdd: float) -> "Technology":
+    def at_voltage(self, vdd: float) -> "Technology":  # repro: dim[vdd: v]
         """Return this operating point at a different supply voltage."""
         return Technology(
             node_nm=self.node_nm,

@@ -30,7 +30,7 @@ class WireType(str, Enum):
 
 
 #: Bulk resistivity of copper (ohm * m).
-_COPPER_RESISTIVITY = 1.72e-8
+_COPPER_RESISTIVITY = 1.72e-8  # repro: dim[_COPPER_RESISTIVITY: ohm*m]
 
 #: Miller coupling factor applied to sidewall capacitance (worst-case
 #: switching of both neighbors would be 2.0; CACTI uses 1.5 on average).
@@ -56,35 +56,35 @@ class WireParameters:
 
     node_nm: int
     wire_type: WireType
-    pitch: float
+    pitch: float  # repro: dim[pitch: m]
     aspect_ratio: float
-    resistivity: float
+    resistivity: float  # repro: dim[resistivity: ohm*m]
     dielectric_constant: float
-    ild_thickness: float
+    ild_thickness: float  # repro: dim[ild_thickness: m]
     horiz_dielectric_constant: float
 
     @property
-    def width(self) -> float:
+    def width(self) -> float:  # repro: dim[return: m]
         """Wire width (m)."""
         return self.pitch / 2.0
 
     @property
-    def spacing(self) -> float:
+    def spacing(self) -> float:  # repro: dim[return: m]
         """Spacing to the adjacent wire (m)."""
         return self.pitch / 2.0
 
     @property
-    def thickness(self) -> float:
+    def thickness(self) -> float:  # repro: dim[return: m]
         """Wire (metal) thickness (m)."""
         return self.aspect_ratio * self.width
 
     @property
-    def resistance_per_length(self) -> float:
+    def resistance_per_length(self) -> float:  # repro: dim[return: ohm/m]
         """Series resistance per unit length (ohm/m)."""
         return self.resistivity / (self.width * self.thickness)
 
     @property
-    def capacitance_per_length(self) -> float:
+    def capacitance_per_length(self) -> float:  # repro: dim[return: f/m]
         """Total switching capacitance per unit length (F/m).
 
         Sum of Miller-degraded sidewall coupling to the two same-layer
@@ -106,16 +106,19 @@ class WireParameters:
             * self.width
             / self.ild_thickness
         )
-        fringe = 0.04e-15 / 1e-6  # ~0.04 fF/um of fringing, CACTI constant
+        # ~0.04 fF/um of fringing, CACTI constant
+        fringe = 0.04e-15 / 1e-6  # repro: dim[fringe: f/m]
         return sidewall + vertical + fringe
 
     @property
-    def rc_per_length_squared(self) -> float:
+    def rc_per_length_squared(self) -> float:  # repro: dim[return: s/m2]
         """Distributed RC product per length^2 (s/m^2); wire figure of merit."""
         return self.resistance_per_length * self.capacitance_per_length
 
 
-def _size_effect_resistivity(width: float, thickness: float) -> float:
+def _size_effect_resistivity(
+    width: float, thickness: float
+) -> float:  # repro: dim[width: m, thickness: m, return: ohm*m]
     """Effective copper resistivity including barrier and scattering.
 
     A thin (~4 nm per side, floored at 10% of the dimension) barrier layer
@@ -201,7 +204,7 @@ def wire_parameters(node_nm: int, wire_type: WireType) -> WireParameters:
 def wire_delay_unrepeated(
     params: WireParameters, length: float, drive_resistance: float = 0.0,
     load_capacitance: float = 0.0,
-) -> float:
+) -> float:  # repro: dim[length: m, drive_resistance: ohm, load_capacitance: f, return: s]
     """Elmore delay of an unrepeated distributed RC wire (s).
 
     ``0.38 * R_w * C_w`` for the distributed segment plus the lumped
@@ -216,7 +219,9 @@ def wire_delay_unrepeated(
     )
 
 
-def wire_energy(params: WireParameters, length: float, vdd: float) -> float:
+def wire_energy(
+    params: WireParameters, length: float, vdd: float
+) -> float:  # repro: dim[length: m, vdd: v, return: j]
     """Switching energy of a full-swing transition on a wire (J)."""
     if length < 0:
         raise ValueError(f"length must be non-negative, got {length}")

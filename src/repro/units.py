@@ -26,6 +26,7 @@ MHZ = 1e6
 GHZ = 1e9
 
 # -- capacitance ---------------------------------------------------------
+AF = 1e-18
 FF = 1e-15
 PF = 1e-12
 
@@ -34,9 +35,19 @@ FJ = 1e-15
 PJ = 1e-12
 NJ = 1e-9
 
+# -- power ---------------------------------------------------------------
+UW = 1e-6
+MW = 1e-3  # milliwatt (model power levels are reported in W)
+
+# -- voltage -------------------------------------------------------------
+MV = 1e-3
+
 # -- current -------------------------------------------------------------
 UA = 1e-6
 MA = 1e-3
+
+# -- resistance ----------------------------------------------------------
+KOHM = 1e3
 
 # -- data sizes ----------------------------------------------------------
 KB = 1024
