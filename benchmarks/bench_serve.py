@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Load-test the evaluation service: latency, saturation, cache reuse.
+
+Starts a real :class:`repro.serve.BackgroundServer` in this process and
+drives it with threaded :class:`repro.serve.client.ServeClient` workers,
+in three phases:
+
+1. **cold** — every distinct config evaluated once through the model
+   (fills the shared cache; times the end-to-end cold path),
+2. **ramp** — warm requests at increasing client counts; the highest
+   sustained rate across steps is the saturation throughput,
+3. **verify** — a preset evaluated cold then again, asserting the warm
+   repeat is served ``from_cache`` and the ``/metrics`` hit counters
+   moved.
+
+Results land in ``BENCH_serve.json``: p50/p99 latency per ramp step,
+requests/s at saturation, and the shared-cache hit rate. ``--smoke`` is
+the CI-sized run (fewer configs, smaller ramp, same assertions).
+
+Run::
+
+    python benchmarks/bench_serve.py            # full ramp
+    python benchmarks/bench_serve.py --smoke    # quick CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.config.loader import system_config_to_dict
+from repro.config.schema import (
+    CacheGeometry,
+    CoreConfig,
+    MemoryControllerConfig,
+    NocConfig,
+    NocTopology,
+    SystemConfig,
+)
+from repro.serve import BackgroundServer, ServeConfig, ServeError
+
+#: Minimum shared-cache hit rate after the warm ramp. Nearly every ramp
+#: request repeats a config the cold phase filled in, so a healthy
+#: server sits close to 1.0; well under this means the cache sharing the
+#: serve tier exists for is broken.
+HIT_RATE_FLOOR = 0.5
+
+
+def _tile_config(i: int) -> dict:
+    """The ``i``-th distinct small chip of the benchmark working set."""
+    config = SystemConfig(
+        name=f"bench-serve-{i}",
+        node_nm=(90, 65, 45, 32)[i % 4],
+        clock_hz=1.0e9 + 0.5e9 * (i // 4),
+        n_cores=1 + i % 2,
+        core=CoreConfig(
+            name="bench-core",
+            icache=CacheGeometry(capacity_bytes=8 * 1024),
+            dcache=CacheGeometry(capacity_bytes=8 * 1024),
+            branch_predictor=None,
+        ),
+        l2=None,
+        noc=NocConfig(topology=NocTopology.NONE),
+        memory_controller=MemoryControllerConfig(channels=1),
+    )
+    return system_config_to_dict(config)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """The ``q``-quantile of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def _ramp_step(
+    server: BackgroundServer,
+    configs: list[dict],
+    n_clients: int,
+    requests_per_client: int,
+) -> dict:
+    """One load step: ``n_clients`` threads firing warm requests."""
+    latencies_s: list[float] = []
+    errors: list[int] = []
+    lock = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        client = server.client()
+        for i in range(requests_per_client):
+            payload = configs[(worker_id + i) % len(configs)]
+            start_s = time.perf_counter()
+            try:
+                client.evaluate(config=payload, report=False)
+            except ServeError as exc:
+                with lock:
+                    errors.append(exc.status)
+                continue
+            elapsed_s = time.perf_counter() - start_s
+            with lock:
+                latencies_s.append(elapsed_s)
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,))
+        for worker_id in range(n_clients)
+    ]
+    start_s = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start_s
+
+    latencies_s.sort()
+    completed = len(latencies_s)
+    return {
+        "clients": n_clients,
+        "requests": n_clients * requests_per_client,
+        "completed": completed,
+        "errors": len(errors),
+        "wall_s": wall_s,
+        "reqs_per_s": completed / wall_s if wall_s > 0 else 0.0,
+        "latency_p50_s": _percentile(latencies_s, 0.50),
+        "latency_p99_s": _percentile(latencies_s, 0.99),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="evaluation-service load benchmark",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: small working set and ramp")
+    parser.add_argument("--configs", type=int, default=8,
+                        help="distinct configs in the working set "
+                             "(default 8)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="warm requests per client per ramp step "
+                             "(default 100)")
+    parser.add_argument("--output", default="BENCH_serve.json",
+                        metavar="PATH", help="result JSON path")
+    args = parser.parse_args(argv)
+
+    n_configs = 4 if args.smoke else args.configs
+    per_client = 25 if args.smoke else args.requests
+    ramp = (1, 2) if args.smoke else (1, 2, 4, 8)
+    configs = [_tile_config(i) for i in range(n_configs)]
+    failed = False
+
+    serve_config = ServeConfig(
+        port=0, concurrency=4, queue_limit=256, timeout_s=120.0,
+    )
+    with BackgroundServer(serve_config) as server:
+        client = server.client()
+
+        # Phase 1: cold fills — each distinct config modeled once.
+        cold_latencies_s: list[float] = []
+        for payload in configs:
+            start_s = time.perf_counter()
+            response = client.evaluate(config=payload, report=False)
+            cold_latencies_s.append(time.perf_counter() - start_s)
+            if response["from_cache"]:
+                print("FAIL: cold request reported from_cache",
+                      file=sys.stderr)
+                failed = True
+        cold_latencies_s.sort()
+        print(f"cold fill      : {n_configs} configs, "
+              f"p50={_percentile(cold_latencies_s, 0.5):.3f}s")
+
+        # Phase 2: warm ramp to saturation.
+        steps = []
+        for n_clients in ramp:
+            step = _ramp_step(server, configs, n_clients, per_client)
+            steps.append(step)
+            print(f"ramp {n_clients:2d} client{'s' if n_clients > 1 else ' '}"
+                  f" : {step['reqs_per_s']:7.0f} req/s  "
+                  f"p50={step['latency_p50_s'] * 1e3:6.2f}ms  "
+                  f"p99={step['latency_p99_s'] * 1e3:6.2f}ms  "
+                  f"errors={step['errors']}")
+        saturation = max(steps, key=lambda s: s["reqs_per_s"])
+
+        # Phase 3: preset cold/warm through the same shared cache.
+        start_s = time.perf_counter()
+        first = client.evaluate(preset="niagara1")
+        preset_cold_s = time.perf_counter() - start_s
+        start_s = time.perf_counter()
+        second = client.evaluate(preset="niagara1")
+        preset_warm_s = time.perf_counter() - start_s
+        if first["from_cache"] or not second["from_cache"]:
+            print("FAIL: preset repeat was not served from the shared "
+                  "cache", file=sys.stderr)
+            failed = True
+        if second["report_text"] != first["report_text"]:
+            print("FAIL: warm preset report differs from cold",
+                  file=sys.stderr)
+            failed = True
+        print(f"preset niagara1: cold={preset_cold_s:.2f}s "
+              f"warm={preset_warm_s * 1e3:.1f}ms "
+              f"from_cache={second['from_cache']}")
+
+        counters = client.metrics()["counters"]
+
+    hits = counters.get("engine.cache.hits", 0.0)
+    misses = counters.get("engine.cache.misses", 0.0)
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    print(f"shared cache   : {hits:.0f} hits / {misses:.0f} misses "
+          f"(hit rate {hit_rate:.1%})")
+    if hit_rate < HIT_RATE_FLOOR:
+        print(f"FAIL: cache hit rate {hit_rate:.1%} below "
+              f"{HIT_RATE_FLOOR:.0%} floor", file=sys.stderr)
+        failed = True
+
+    payload = {
+        "benchmark": "serve",
+        "smoke": args.smoke,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "working_set_configs": n_configs,
+        "cold_fill": {
+            "latency_p50_s": _percentile(cold_latencies_s, 0.50),
+            "latency_p99_s": _percentile(cold_latencies_s, 0.99),
+        },
+        "ramp": steps,
+        "saturation": {
+            "clients": saturation["clients"],
+            "reqs_per_s": saturation["reqs_per_s"],
+            "latency_p50_s": saturation["latency_p50_s"],
+            "latency_p99_s": saturation["latency_p99_s"],
+        },
+        "preset_roundtrip": {
+            "preset": "niagara1",
+            "cold_s": preset_cold_s,
+            "warm_s": preset_warm_s,
+            "warm_from_cache": bool(second["from_cache"]),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hit_rate,
+        },
+        "serve_counters": {
+            name: value for name, value in sorted(counters.items())
+            if name.startswith("serve.")
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failed:
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

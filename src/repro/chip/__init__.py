@@ -2,7 +2,7 @@
 
 from repro.chip.results import ComponentResult
 from repro.chip.processor import Processor
-from repro.chip.report import format_report
+from repro.chip.report import format_report, render_report_text
 from repro.chip.profiling import format_timing_breakdown, timing_breakdown
 from repro.chip.export import (
     compare_results,
@@ -16,6 +16,7 @@ __all__ = [
     "Processor",
     "format_report",
     "format_timing_breakdown",
+    "render_report_text",
     "timing_breakdown",
     "compare_results",
     "format_csv",

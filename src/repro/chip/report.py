@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.chip.results import ComponentResult
+
+if TYPE_CHECKING:  # avoid a report <-> processor import cycle
+    from repro.chip.processor import Processor
 
 
 def _format_power(watts: float) -> str:
@@ -58,4 +63,25 @@ def format_report(
                 emit(child, depth + 1)
 
     emit(result, 0)
+    return "\n".join(lines)
+
+
+def render_report_text(processor: "Processor", max_depth: int = 2) -> str:
+    """The full ``mcpat-repro report`` text for one built processor.
+
+    This is the single source of the human-readable report: the CLI
+    prints it and the serve tier returns it, so a served report is
+    byte-identical to the offline command's output (the breakdown tree,
+    a blank line, TDP/area, then the timing summary).
+    """
+    lines = [
+        format_report(
+            processor.report(), max_depth=max_depth, include_runtime=False,
+        ),
+        "",
+        f"TDP  = {processor.tdp:.1f} W",
+        f"Area = {processor.area * 1e6:.1f} mm^2",
+    ]
+    for name, cycles in processor.timing_summary().items():
+        lines.append(f"{name:<22} = {cycles:.2f} cycles")
     return "\n".join(lines)

@@ -11,6 +11,9 @@ Subcommands mirror how the original tool is used:
   parallel, cached evaluation engine.
 * ``stats`` — evaluate a config with instrumentation on and print the
   observability metrics table (cache/memo hit rates, pool throughput).
+* ``serve`` — run the long-running async HTTP/JSON evaluation service
+  (:mod:`repro.serve`): ``POST /evaluate``, ``POST /sweep``,
+  ``GET /metrics``, ``GET /healthz``.
 * ``lint`` — run the model-invariant static-analysis suite
   (:mod:`repro.analysis`) over source trees.
 
@@ -28,7 +31,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.chip import Processor, format_report
+from repro.chip import Processor, format_report, render_report_text
 from repro.config import load_system_config, presets
 
 
@@ -81,15 +84,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print()
         print("Model-build wall time by component:")
         print(format_timing_breakdown(times))
+        print()
+        print(f"TDP  = {processor.tdp:.1f} W")
+        print(f"Area = {processor.area * 1e6:.1f} mm^2")
+        for name, cycles in processor.timing_summary().items():
+            print(f"{name:<22} = {cycles:.2f} cycles")
     else:
-        print(format_report(
-            processor.report(), max_depth=args.depth, include_runtime=False,
-        ))
-    print()
-    print(f"TDP  = {processor.tdp:.1f} W")
-    print(f"Area = {processor.area * 1e6:.1f} mm^2")
-    for name, cycles in processor.timing_summary().items():
-        print(f"{name:<22} = {cycles:.2f} cycles")
+        # Single source of the report text, shared with the serve tier
+        # so `POST /evaluate` responses are byte-identical to this.
+        print(render_report_text(processor, max_depth=args.depth))
     if args.trace:
         _write_trace(args.trace)
     return 0
@@ -269,6 +272,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-running async HTTP evaluation service."""
+    from repro.serve import ServeConfig, serve_forever
+
+    if args.trace:
+        from repro import obs
+
+        obs.enable()
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            concurrency=args.concurrency,
+            queue_limit=args.queue_limit,
+            timeout_s=args.timeout_s,
+            jobs=args.jobs,
+            cache_entries=args.cache_entries,
+            cache_path=args.cache,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"mcpat-repro serve on http://{config.host}:{config.port} "
+          f"(concurrency={config.concurrency}, "
+          f"queue_limit={config.queue_limit}, "
+          f"timeout={config.timeout_s:g}s, jobs={config.jobs})")
+    print("endpoints: POST /evaluate, POST /sweep, GET /jobs/<id>, "
+          "GET /metrics, GET /healthz")
+    try:
+        serve_forever(config)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import format_json, format_text, lint_paths
 
@@ -389,6 +426,37 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--trace", default=None, metavar="PATH",
                        help="with --profile: also write the spans to PATH")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async HTTP/JSON evaluation service",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (default 8080; 0 = ephemeral)")
+    serve.add_argument("--concurrency", type=int, default=4,
+                       help="evaluations allowed to run at once "
+                            "(default 4)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="requests allowed to wait for a slot before "
+                            "the server answers 503 (default 16)")
+    serve.add_argument("--timeout-s", type=float, default=60.0,
+                       help="per-request wall-clock budget in seconds; "
+                            "504 on expiry (default 60)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="engine worker processes available to one "
+                            "sweep request (default 1)")
+    serve.add_argument("--cache", default=None, metavar="PATH",
+                       help="JSONL file backing the shared result cache "
+                            "(persists across restarts)")
+    serve.add_argument("--cache-entries", type=int, default=4096,
+                       help="in-memory result-cache capacity "
+                            "(default 4096)")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable obs instrumentation: request spans "
+                            "and span histograms appear in GET /metrics")
+    serve.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser(
         "lint",

@@ -77,6 +77,9 @@ def metrics_snapshot(
             "engine.cache.misses": float(cache.misses),
             "engine.cache.evictions": float(cache.evictions),
             "engine.cache.entries": float(len(cache)),
+            "engine.cache.corrupt_lines_skipped": float(
+                cache.corrupt_lines_skipped
+            ),
         }
     return obs.snapshot(extra_counters=extra)
 
@@ -113,8 +116,10 @@ def evaluate_many(
         ``with_metrics=True``, a ``(records, snapshot)`` tuple instead.
 
     Raises:
-        ValueError: If ``configs`` is empty, or a runtime objective is
-            requested without a workload.
+        ValueError: If ``configs`` is empty, a runtime objective is
+            requested without a workload, or a config holds a value that
+            cannot be content-hashed (the message names the offending
+            field path).
     """
     configs = list(configs)
     if not configs:

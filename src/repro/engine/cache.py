@@ -10,14 +10,28 @@ common.
 The optional on-disk store is an append-only JSONL log: loading replays
 the log (last write wins), and every new record is appended as it is
 computed, which doubles as crash durability for long sweeps.
+
+The cache is safe to share across threads — the serve tier
+(:mod:`repro.serve`) keeps **one** process-wide instance that every
+concurrent request goes through. In-memory state is guarded by a lock,
+and appends are written with ``O_APPEND`` as one whole line per
+``write`` syscall, so interleaved writers (threads, or even several
+processes sharing one log file) can never splice lines into each other.
+The loader is correspondingly corruption-tolerant: a truncated trailing
+line (a crash mid-append) or an unreadable line is skipped and counted
+in :attr:`EvalCache.corrupt_lines_skipped` rather than poisoning the
+load.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
+from typing import Any
 
 from repro import fastpath
 from repro.config.loader import system_config_to_dict
@@ -29,12 +43,68 @@ from repro.perf.workload import Workload
 #: on-disk caches from older code are never served.
 CACHE_SCHEMA_VERSION = 1
 
+#: JSON scalar types usable as mapping keys in a hashable payload.
+_JSON_KEY_TYPES = (str, int, float, bool, type(None))
+
+
+def _unserializable_path(node: Any, path: str,
+                         seen: set[int]) -> str | None:
+    """Locate the first value ``stable_hash`` cannot canonicalize.
+
+    Walks the payload the way :func:`repro.fastpath.stable_hash` will,
+    returning a dotted path to the offending value (cycles, non-scalar
+    mapping keys, mixed-type key sets, or leaves whose ``str`` fails) —
+    or None when the payload is fully serializable.
+    """
+    if isinstance(node, (dict, list, tuple)):
+        if id(node) in seen:
+            return f"{path} (circular reference)"
+        seen.add(id(node))
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        node = {
+            f.name: getattr(node, f.name)
+            for f in dataclasses.fields(node)
+        }
+    if isinstance(node, dict):
+        for key in node:
+            if not isinstance(key, _JSON_KEY_TYPES):
+                return (
+                    f"{path}[{key!r}] (mapping key of type "
+                    f"{type(key).__name__}; JSON keys must be scalars)"
+                )
+        try:
+            sorted(node)
+        except TypeError as exc:
+            return f"{path} (unsortable mapping keys: {exc})"
+        for key, value in node.items():
+            hit = _unserializable_path(value, f"{path}.{key}", seen)
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(node, (list, tuple)):
+        for i, value in enumerate(node):
+            hit = _unserializable_path(value, f"{path}[{i}]", seen)
+            if hit is not None:
+                return hit
+        return None
+    try:
+        json.dumps(node, default=str)
+    except (TypeError, ValueError) as exc:
+        return f"{path} (value of type {type(node).__name__}: {exc})"
+    return None
+
 
 def config_key(config: SystemConfig, workload: Workload | None = None) -> str:
     """Deterministic content-hash key for one (config, workload) pair.
 
     The same configuration always maps to the same key; changing any
     field — however deeply nested — produces a different key.
+
+    Raises:
+        ValueError: When the config (or workload) holds a value that
+            cannot be content-hashed — the message names the offending
+            field path instead of surfacing a deep ``stable_hash``
+            traceback.
     """
     payload = {
         "v": CACHE_SCHEMA_VERSION,
@@ -43,11 +113,28 @@ def config_key(config: SystemConfig, workload: Workload | None = None) -> str:
             dataclasses.asdict(workload) if workload is not None else None
         ),
     }
-    return fastpath.stable_hash(payload)
+    try:
+        return fastpath.stable_hash(payload)
+    except (TypeError, ValueError, RecursionError) as exc:
+        label = getattr(config, "name", None)
+        label = label if isinstance(label, str) else "<config>"
+        where = (
+            _unserializable_path(payload["config"], "config", set())
+            or _unserializable_path(payload["workload"], "workload", set())
+            or "an unidentified field"
+        )
+        raise ValueError(
+            f"configuration {label!r} cannot be content-hashed: "
+            f"{where} is not serializable"
+        ) from exc
 
 
 class EvalCache:
     """LRU cache of :class:`EvalRecord` with an optional JSONL backing file.
+
+    Thread-safe: one instance may be shared by concurrent callers (the
+    serve tier does exactly that). Lookups/stores take an internal lock;
+    log appends are single ``O_APPEND`` writes of whole lines.
 
     Args:
         max_entries: In-memory capacity; least-recently-used entries are
@@ -59,6 +146,8 @@ class EvalCache:
         hits: Number of successful lookups.
         misses: Number of failed lookups.
         evictions: In-memory entries dropped by the LRU policy.
+        corrupt_lines_skipped: Unreadable/truncated JSONL lines skipped
+            by the loader (0 for a healthy log).
     """
 
     def __init__(
@@ -73,12 +162,19 @@ class EvalCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt_lines_skipped = 0
+        self._lock = threading.Lock()
         self._records: OrderedDict[str, EvalRecord] = OrderedDict()
         if self.path is not None and self.path.exists():
             self._load()
 
     def _load(self) -> None:
-        """Replay the JSONL log, skipping unreadable lines."""
+        """Replay the JSONL log, skipping (and counting) unreadable lines.
+
+        A line that does not parse — typically the trailing line of a
+        log truncated by a crash or a concurrent writer mid-append — is
+        skipped and counted, never fatal.
+        """
         assert self.path is not None
         for line in self.path.read_text().splitlines():
             line = line.strip()
@@ -89,54 +185,78 @@ class EvalCache:
                 key = entry["key"]
                 record = EvalRecord.from_dict(entry["record"])
             except (json.JSONDecodeError, KeyError, TypeError):
+                self.corrupt_lines_skipped += 1
                 continue
             self._records[key] = record
             self._records.move_to_end(key)
-        self._evict()
+        self._evict_locked()
 
-    def _evict(self) -> None:
+    def _evict_locked(self) -> None:
+        """Enforce capacity; caller holds the lock (or is ``__init__``)."""
         while len(self._records) > self.max_entries:
             self._records.popitem(last=False)
             self.evictions += 1
 
     def get(self, key: str) -> EvalRecord | None:
         """Look up a record; cached results come back ``from_cache=True``."""
-        record = self._records.get(key)
-        if record is None:
-            self.misses += 1
-            return None
-        self._records.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self._records.move_to_end(key)
+            self.hits += 1
         return dataclasses.replace(record, from_cache=True)
 
     def put(self, key: str, record: EvalRecord) -> None:
-        """Store a record, appending to the JSONL log for new keys."""
-        is_new = key not in self._records
-        self._records[key] = dataclasses.replace(record, from_cache=False)
-        self._records.move_to_end(key)
-        self._evict()
+        """Store a record, appending to the JSONL log for new keys.
+
+        The append is one ``write`` on an ``O_APPEND`` descriptor, so
+        concurrent writers — threads of this process or other processes
+        sharing the log — produce interleaved whole lines, never spliced
+        partial ones.
+        """
+        with self._lock:
+            is_new = key not in self._records
+            self._records[key] = dataclasses.replace(
+                record, from_cache=False,
+            )
+            self._records.move_to_end(key)
+            self._evict_locked()
         if is_new and self.path is not None:
             line = json.dumps(
                 {"key": key, "record": record.to_dict()}, sort_keys=True,
             )
-            with self.path.open("a") as handle:
-                handle.write(line + "\n")
+            payload = (line + "\n").encode("utf-8")
+            fd = os.open(
+                self.path,
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
 
     def clear(self) -> None:
         """Drop the in-memory entries and reset the hit/miss counters.
 
         The on-disk log, if any, is left untouched.
         """
-        self._records.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._records.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.corrupt_lines_skipped = 0
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        with self._lock:
+            return key in self._records
 
 
 #: Process-wide shared cache used when callers don't supply their own, so

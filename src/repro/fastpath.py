@@ -104,14 +104,23 @@ class Memo:
         except KeyError:
             pass
         else:
-            self._entries.move_to_end(key)
+            try:
+                self._entries.move_to_end(key)
+            except KeyError:
+                # Lost a race with a concurrent eviction (the serve tier
+                # calls memoized code from worker threads); the value is
+                # already in hand, so it is still a hit.
+                pass
             self.hits += 1
             return cast(T, value)
         self.misses += 1
         value = compute()
         self._entries[key] = value
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            try:
+                self._entries.popitem(last=False)
+            except KeyError:  # concurrent evictor emptied the table
+                break
             self.evictions += 1
         return value
 

@@ -47,6 +47,7 @@ from repro.obs.runtime import active, detail, disable, enable
 from repro.obs.trace import (
     ProfileEntry,
     Span,
+    attach,
     current_span_id,
     format_profile,
     merge,
@@ -76,6 +77,7 @@ __all__ = [
     "Span",
     "absorb",
     "active",
+    "attach",
     "counter_add",
     "current_span_id",
     "detail",

@@ -30,9 +30,10 @@ import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Mapping, TypeVar
 
 from repro.obs import runtime
 
@@ -237,6 +238,29 @@ def current_span_id() -> int | None:
     """Id of the innermost open span on this thread, or None."""
     stack = _stack()
     return stack[-1] if stack else None
+
+
+@contextmanager
+def attach(parent_id: int | None) -> Iterator[None]:
+    """Adopt ``parent_id`` as this thread's current span parent.
+
+    The span stack is thread-local, so work handed to another thread
+    (the serve tier runs evaluations on an executor) would record its
+    spans as roots. Capture :func:`current_span_id` before the hop and
+    enter ``attach`` on the worker, and the hierarchy survives: spans
+    opened inside the block become children of ``parent_id``. A no-op
+    when instrumentation is off or ``parent_id`` is None.
+    """
+    if not runtime.ACTIVE or parent_id is None:
+        yield
+        return
+    stack = _stack()
+    stack.append(parent_id)
+    try:
+        yield
+    finally:
+        if stack and stack[-1] == parent_id:
+            stack.pop()
 
 
 def merge(

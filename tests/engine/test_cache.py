@@ -2,10 +2,11 @@
 
 import dataclasses
 import json
+import threading
 
 import pytest
 
-from repro.engine import EvalCache, EvalRecord, config_key
+from repro.engine import EvalCache, EvalRecord, config_key, evaluate_many
 from repro.perf import SPLASH2_PROFILES
 
 from tests.conftest import make_tiny_config
@@ -112,6 +113,50 @@ class TestEvalCacheDisk:
         lines = path.read_text().splitlines()
         assert len(lines) == 1
 
+    def test_concurrent_puts_all_durable(self, tmp_path):
+        """Threaded writers interleave whole lines, never spliced ones."""
+        path = tmp_path / "cache.jsonl"
+        cache = EvalCache(path=path)
+        n_threads, per_thread = 8, 25
+
+        def writer(worker: int) -> None:
+            for i in range(per_thread):
+                key = f"w{worker}-{i}"
+                cache.put(key, record(key, tdp=float(worker)))
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,))
+            for worker in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        reloaded = EvalCache(path=path)
+        assert reloaded.corrupt_lines_skipped == 0
+        assert len(reloaded) == n_threads * per_thread
+        for worker in range(n_threads):
+            for i in range(per_thread):
+                hit = reloaded.get(f"w{worker}-{i}")
+                assert hit is not None
+                assert hit.tdp_w == pytest.approx(float(worker))
+
+    def test_truncated_trailing_line_counted(self, tmp_path):
+        """A crash mid-append leaves a partial last line; load survives."""
+        path = tmp_path / "cache.jsonl"
+        cache = EvalCache(path=path)
+        cache.put("whole", record("whole"))
+        cache.put("casualty", record("casualty"))
+        first, second = path.read_text().splitlines()
+        path.write_text(first + "\n" + second[: len(second) // 2])
+
+        reloaded = EvalCache(path=path)
+        assert reloaded.corrupt_lines_skipped == 1
+        assert len(reloaded) == 1
+        assert reloaded.get("whole") is not None
+        assert reloaded.get("casualty") is None
+
     def test_clear_keeps_disk(self, tmp_path):
         path = tmp_path / "cache.jsonl"
         cache = EvalCache(path=path)
@@ -120,6 +165,42 @@ class TestEvalCacheDisk:
         assert len(cache) == 0
         assert cache.hits == cache.misses == 0
         assert EvalCache(path=path).get("k") is not None
+
+
+class TestUnserializableConfigs:
+    """A bad config value yields a named field path, not a deep traceback.
+
+    ``niu`` carries no post-init validation, so it is the convenient
+    slot for smuggling structurally broken values into an otherwise
+    valid config.
+    """
+
+    def test_mapping_key_type_named(self):
+        broken = dataclasses.replace(
+            make_tiny_config(), niu={(1, 2): 3},
+        )
+        with pytest.raises(ValueError) as exc:
+            config_key(broken)
+        message = str(exc.value)
+        assert "'tiny' cannot be content-hashed" in message
+        assert "config.niu[(1, 2)]" in message
+        assert "mapping key of type tuple" in message
+
+    def test_circular_reference_named(self):
+        loop: list = []
+        loop.append(loop)
+        broken = dataclasses.replace(make_tiny_config(), niu=loop)
+        with pytest.raises(ValueError) as exc:
+            config_key(broken)
+        assert "config.niu[0] (circular reference)" in str(exc.value)
+
+    def test_evaluate_many_surfaces_the_named_error(self):
+        broken = dataclasses.replace(
+            make_tiny_config(name="batch-bad"), niu={(1, 2): 3},
+        )
+        with pytest.raises(ValueError, match="config.niu") as exc:
+            evaluate_many([broken], cache=None)
+        assert "'batch-bad'" in str(exc.value)
 
 
 class TestEvalRecord:

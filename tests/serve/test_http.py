@@ -1,0 +1,102 @@
+"""Unit tests for the HTTP/1.1 framing layer (no server, no sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    encode_json,
+    error_body,
+    read_request,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes through :func:`read_request`."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(b"GET /metrics?a=1&b=x HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/metrics"
+        assert request.query == {"a": "1", "b": "x"}
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        raw = (b"POST /evaluate HTTP/1.1\r\n"
+               b"Content-Type: application/json\r\n"
+               b"Content-Length: 13\r\n"
+               b"\r\n"
+               b'{"preset": 1}')
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"preset": 1}
+        assert request.headers["content-type"] == "application/json"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_body_too_large(self):
+        raw = (b"POST / HTTP/1.1\r\n"
+               b"Content-Length: 1000\r\n\r\n" + b"x" * 1000)
+        with pytest.raises(HttpError) as exc:
+            parse(raw, max_body_bytes=100)
+        assert exc.value.status == 413
+
+    def test_truncated_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        with pytest.raises(HttpError) as exc:
+            parse(raw)
+        assert exc.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        closed = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not closed.keep_alive
+
+
+class TestBodies:
+    def test_json_error_on_empty_body(self):
+        request = HttpRequest(method="POST", path="/")
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+    def test_json_error_on_garbage(self):
+        request = HttpRequest(method="POST", path="/", body=b"{nope")
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+    def test_encode_json_ends_with_newline(self):
+        assert encode_json({"a": 1}).endswith(b"\n")
+
+    def test_error_body_carries_detail(self):
+        body = error_body(503, "queue full", trace_id="t-1")
+        assert b"queue full" in body
+        assert b"t-1" in body

@@ -1,0 +1,47 @@
+"""Served results must match the offline CLI, preset for preset.
+
+The acceptance bar for the serve tier: a ``POST /evaluate`` response is
+not a *similar* answer to ``mcpat-repro report`` — it is the same bytes.
+One server instance (one shared cache) serves all four validation
+presets; each report text is compared against the CLI output captured
+in-process.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.config import presets
+from repro.serve import BackgroundServer, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One live server shared by every preset case in this module."""
+    with BackgroundServer(ServeConfig(port=0)) as server:
+        yield server
+
+
+@pytest.mark.parametrize("name", sorted(presets.VALIDATION_PRESETS))
+def test_served_report_is_byte_identical_to_cli(served, name, capsys):
+    response = served.client().evaluate(preset=name)
+    assert main(["report", name]) == 0
+    cli_text = capsys.readouterr().out
+    assert response["report_text"] == cli_text
+
+
+@pytest.mark.parametrize("name", sorted(presets.VALIDATION_PRESETS))
+def test_served_record_matches_preset_model(served, name):
+    """Record scalars agree with a directly built preset chip."""
+    from repro.chip import Processor
+
+    config = presets.VALIDATION_PRESETS[name]()
+    response = served.client().evaluate(preset=name, report=False)
+    record = response["record"]
+    processor = Processor(config)
+    assert record["name"] == config.name
+    assert record["tdp_w"] == pytest.approx(processor.tdp)
+    assert record["area_mm2"] == pytest.approx(processor.area * 1e6)
+    # Second hit on the same preset comes from the shared cache.
+    warm = served.client().evaluate(preset=name, report=False)
+    assert warm["from_cache"] is True
+    assert warm["record"] == record
