@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Benchmark the vectorized sweep backend against the scalar loop.
+
+Runs the same Vdd x frequency grid over the niagara1 validation preset
+through ``run_sweep`` twice — once per backend — and reports per-point
+p50 time, points/s, and the numpy-vs-scalar speedup that
+``bench_trend.py`` gates. Every numpy result is compared against its
+scalar twin on all record metrics; the run fails outright if the worst
+relative difference exceeds ``PARITY_REL_TOL``.
+
+Timed runs use ``cache=None`` (every point is really evaluated) after a
+warm-up pass that fills the process-wide fast-path memos and the
+compiled-group memo — matching the steady state of a long exploration,
+which is what the batch backend exists for.
+
+Run::
+
+    python benchmarks/bench_sweep_batch.py            # 1000-point grid
+    python benchmarks/bench_sweep_batch.py --smoke    # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import batch
+from repro.config import presets
+from repro.engine import SweepSpec, run_sweep
+
+#: Numpy-vs-scalar agreement bound (the batch backend's contract).
+PARITY_REL_TOL = 1e-9
+
+#: Required warm numpy-vs-scalar speedup. The acceptance bar is 50x on
+#: the full 1000-point grid; smoke mode shrinks the grid (less compile
+#: amortization) and runs on noisy shared CI runners.
+SPEEDUP_FLOOR = 50.0
+SPEEDUP_FLOOR_SMOKE = 10.0
+
+#: Record fields compared between the backends.
+METRIC_FIELDS = (
+    "area_mm2",
+    "tdp_w",
+    "peak_dynamic_w",
+    "leakage_w",
+    "core_area_mm2",
+    "core_peak_dynamic_w",
+    "core_leakage_w",
+)
+
+
+def build_spec(smoke: bool) -> SweepSpec:
+    """The benchmark grid: Vdd (structure axis) x frequency (vector axis)."""
+    base = presets.VALIDATION_PRESETS["niagara1"]()
+    n_vdd, n_freq = (2, 50) if smoke else (5, 200)
+    vdds = [round(1.0 + 0.05 * i, 3) for i in range(n_vdd)]
+    f0 = base.clock_hz
+    freqs = [f0 * (1.0 + 0.001 * i) for i in range(n_freq)]
+    return SweepSpec.from_axes(base, {"vdd_v": vdds, "clock_hz": freqs})
+
+
+def time_backend(
+    spec: SweepSpec, backend: str, reps: int,
+) -> tuple[list, dict]:
+    """Median-of-``reps`` wall time for one backend, plus its results."""
+    results = run_sweep(spec, cache=None, backend=backend)  # warm-up
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        results = run_sweep(spec, cache=None, backend=backend)
+        times.append(time.perf_counter() - start)
+    p50 = statistics.median(times)
+    return results, {
+        "p50_s": p50,
+        "p50_us_per_point": p50 / spec.n_points * 1e6,
+        "points_per_s": spec.n_points / p50,
+        "reps": reps,
+    }
+
+
+def parity_max_rel(scalar_results: list, numpy_results: list) -> float:
+    """Worst relative metric difference between the two backends."""
+    worst = 0.0
+    for a, b in zip(scalar_results, numpy_results):
+        for name in METRIC_FIELDS:
+            x = getattr(a.record, name)
+            y = getattr(b.record, name)
+            scale = max(abs(x), abs(y), 1e-30)
+            worst = max(worst, abs(x - y) / scale)
+    return worst
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the vectorized sweep backend",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid + relaxed floor for CI")
+    parser.add_argument("--output", default="BENCH_sweep_batch.json",
+                        metavar="PATH", help="payload destination")
+    args = parser.parse_args(argv)
+
+    if not batch.have_numpy():
+        raise SystemExit(
+            "numpy is not installed; the batch benchmark needs the "
+            "[fast] extra (pip install .[fast])"
+        )
+
+    spec = build_spec(args.smoke)
+    floor = SPEEDUP_FLOOR_SMOKE if args.smoke else SPEEDUP_FLOOR
+    scalar_reps = 1 if args.smoke else 2
+    numpy_reps = 3 if args.smoke else 5
+
+    print(f"grid: {spec.n_points} points "
+          f"({' x '.join(str(len(a.values)) for a in spec.axes)}; "
+          f"axes: {', '.join(a.name for a in spec.axes)})")
+
+    scalar_results, scalar_stats = time_backend(spec, "scalar", scalar_reps)
+    print(f"scalar: {scalar_stats['p50_us_per_point']:8.1f} us/pt  "
+          f"{scalar_stats['points_per_s']:8.0f} points/s")
+
+    batch.reset_counters()
+    numpy_results, numpy_stats = time_backend(spec, "numpy", numpy_reps)
+    counters = batch.counters()
+    print(f"numpy:  {numpy_stats['p50_us_per_point']:8.1f} us/pt  "
+          f"{numpy_stats['points_per_s']:8.0f} points/s")
+
+    worst_rel = parity_max_rel(scalar_results, numpy_results)
+    print(f"parity: worst relative difference {worst_rel:.3e} "
+          f"(tolerance {PARITY_REL_TOL:.0e})")
+    if worst_rel > PARITY_REL_TOL:
+        print("FAIL: backends disagree beyond tolerance", file=sys.stderr)
+        return 1
+    if counters["points_vectorized"] < spec.n_points:
+        print(
+            f"FAIL: only {counters['points_vectorized']:.0f} of "
+            f"{spec.n_points} points vectorized "
+            f"(fallbacks: {counters['points_fallback']:.0f})",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = (
+        scalar_stats["p50_us_per_point"]
+        / numpy_stats["p50_us_per_point"]
+    )
+    print(f"speedup: {speedup:.1f}x (floor {floor:.0f}x)")
+
+    payload = {
+        "benchmark": "sweep_batch",
+        "smoke": bool(args.smoke),
+        "n_points": spec.n_points,
+        "axes": {a.name: len(a.values) for a in spec.axes},
+        "preset": "niagara1",
+        "speedup": speedup,
+        "speedup_floor": floor,
+        "parity_max_rel": worst_rel,
+        "parity_rel_tol": PARITY_REL_TOL,
+        "backends": {"scalar": scalar_stats, "numpy": numpy_stats},
+        "batch_counters": counters,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+
+    if speedup < floor:
+        print(f"FAIL: speedup {speedup:.1f}x is below the "
+              f"{floor:.0f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,14 @@ def load_history(path: Path) -> list[dict]:
 
 
 def worst_speedup(payload: dict) -> float:
-    """Minimum cold-eval speedup across the run's presets."""
+    """The payload's gated speedup.
+
+    Two payload shapes are understood: the single-eval benchmark
+    reports per-preset ``cold_speedup`` entries (the worst one gates),
+    and sweep-style benchmarks report one top-level ``speedup``.
+    """
+    if "speedup" in payload:
+        return float(payload["speedup"])
     speedups = [p["cold_speedup"] for p in payload.get("presets", [])]
     if not speedups:
         raise SystemExit("benchmark payload has no preset results")

@@ -1,0 +1,61 @@
+"""Structure-of-arrays batch evaluation backend.
+
+McPAT's headline workload is design-space exploration: the same chip
+structure evaluated at hundreds of operating points. This package splits
+model *construction* from numeric *evaluation* so a sweep is array math
+instead of a loop of full evaluations:
+
+* :mod:`repro.batch.terms` — piecewise-affine frequency responses, the
+  compiled numeric form (scalar and numpy evaluation).
+* :mod:`repro.batch.kernels` — vectorized mirrors of the hot scalar
+  formulas (``alpha*C*V^2*f``, Elmore/Bakoglu wire terms, leakage
+  curves); each is parity-tested against its scalar twin.
+* :mod:`repro.batch.compile` — probes the exact scalar model per
+  structure group, fits the closed forms, and validates every
+  assumption with held-out probes (:class:`BatchFallback` on residual).
+* :mod:`repro.batch.backend` — backend resolution (``scalar`` |
+  ``numpy`` | ``auto``) and group orchestration for
+  :func:`repro.engine.evaluate_many`.
+
+The scalar path remains the bit-identical reference; the numpy backend
+promises agreement within 1e-9 relative (enforced by the parity suite
+over all four validation presets) and falls back to scalar — never
+approximates silently — when a group violates its closed-form
+assumptions. numpy itself is an optional extra (``pip install
+mcpat-repro[fast]``); without it every request resolves to scalar.
+"""
+
+from repro.batch._numpy import get_numpy, have_numpy
+from repro.batch.backend import (
+    BACKENDS,
+    GROUP_AXES,
+    counters,
+    evaluate_batch,
+    reset_counters,
+    resolve_backend,
+    structure_key,
+)
+from repro.batch.compile import (
+    BatchFallback,
+    CompiledGroup,
+    METRICS,
+    compile_group,
+)
+from repro.batch.terms import PiecewiseAffine
+
+__all__ = [
+    "BACKENDS",
+    "BatchFallback",
+    "CompiledGroup",
+    "GROUP_AXES",
+    "METRICS",
+    "PiecewiseAffine",
+    "compile_group",
+    "counters",
+    "evaluate_batch",
+    "get_numpy",
+    "have_numpy",
+    "reset_counters",
+    "resolve_backend",
+    "structure_key",
+]

@@ -1,0 +1,29 @@
+"""Guarded numpy import for the batch backend.
+
+numpy is an *optional* extra (``pip install mcpat-repro[fast]``). Every
+module in :mod:`repro.batch` goes through :func:`get_numpy` /
+:func:`have_numpy` instead of importing numpy directly, so the package
+imports cleanly — and the backend resolver falls back to the scalar
+path — on installations without it. Tests monkeypatch :data:`_np` to
+``None`` to exercise exactly that fallback on machines that do have
+numpy installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # pragma: no cover - exercised via both CI variants
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+
+def get_numpy() -> Any:
+    """The numpy module, or ``None`` when the extra is not installed."""
+    return _np
+
+
+def have_numpy() -> bool:
+    """Whether the vectorized backend can run in this process."""
+    return _np is not None

@@ -199,6 +199,8 @@ class Processor:
     def report(
         self,
         activity: SystemActivity | None = None,
+        *,
+        clock_hz: float | None = None,
     ) -> ComponentResult:
         """Build the full chip result tree.
 
@@ -207,15 +209,23 @@ class Processor:
                 (runtime powers are zero). If the cache/NoC/MC activities
                 inside are ``None``, they are derived from the core
                 activity via the L1 miss streams.
+            clock_hz: Evaluate the built structure at this clock instead
+                of the config's. Construction (array organization,
+                repeater sizing, floorplan) is clock-free, so the result
+                is bit-identical to rebuilding the processor with the
+                other clock — this is the split between *construction*
+                and *numeric evaluation* the batch backend compiles
+                sweeps through (see :mod:`repro.batch`).
         """
         with obs.span("chip.report", chip=self.config.name):
-            return self._build_report(activity)
+            return self._build_report(activity, clock_hz=clock_hz)
 
     def _build_report(
         self,
         activity: SystemActivity | None,
+        clock_hz: float | None = None,
     ) -> ComponentResult:
-        clock = self.config.clock_hz
+        clock = self.config.clock_hz if clock_hz is None else clock_hz
         core_activity = activity.core if activity else None
 
         with obs.span("chip.cores"):

@@ -247,6 +247,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         **({"cache": cache} if cache is not None else {}),
         checkpoint_path=args.checkpoint,
+        backend=args.backend,
     )
     wall_s = time.perf_counter() - start_s
     print(f"{spec.n_points}-point sweep of {base.name}")
@@ -412,6 +413,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (default 1)")
+    sweep.add_argument(
+        "--backend", default="scalar",
+        choices=("auto", "scalar", "numpy"),
+        help="evaluation backend: scalar (exact, default), numpy "
+             "(vectorized frequency/temperature axes, needs the [fast] "
+             "extra), or auto (numpy when available)",
+    )
     sweep.add_argument("--workload", default=None,
                        help="SPLASH-2 profile for runtime metrics")
     sweep.add_argument("--cache", default=None, metavar="PATH",

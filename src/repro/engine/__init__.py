@@ -91,6 +91,9 @@ def evaluate_many(
     jobs: int = 1,
     cache: EvalCache | None = DEFAULT_CACHE,
     with_metrics: bool = False,
+    backend: str | None = None,
+    _keys: Sequence[str] | None = None,
+    _group_keys: Sequence[str] | None = None,
 ) -> "list[EvalRecord] | tuple[list[EvalRecord], obs.MetricsSnapshot]":
     """Evaluate many configurations through the cache and worker pool.
 
@@ -108,19 +111,39 @@ def evaluate_many(
             :class:`~repro.obs.MetricsSnapshot` of the evaluation stack
             (cache hit rates, memo counters, pool throughput) taken
             after the batch completes — ``(records, snapshot)``.
+        backend: ``None``/``"scalar"`` (default) evaluates every point
+            on the exact per-point path; ``"numpy"`` (or ``"auto"``)
+            routes TDP-only points through the vectorized batch backend
+            (:mod:`repro.batch`), which groups them by chip structure
+            and evaluates shared frequency/temperature axes as array
+            math — within 1e-9 relative of scalar. Points the backend
+            cannot vectorize (workload runs, tiny groups, validation
+            fallbacks) transparently use the scalar path. Cache
+            accounting is identical either way: every point is looked
+            up and stored per key.
+        _keys: Internal — precomputed
+            :func:`~repro.engine.cache.config_key` per config (the
+            sweep runner renders keys through a validated template;
+            recomputing them here would dominate warm-sweep time).
+        _group_keys: Internal — precomputed
+            :func:`repro.batch.structure_key` per config (the sweep
+            runner derives them from its axes without hashing).
 
     Returns:
         One :class:`EvalRecord` per config, in input order. Records for
         configs already cached (or repeated within the batch) are
-        computed once; ``record.from_cache`` tells which. With
-        ``with_metrics=True``, a ``(records, snapshot)`` tuple instead.
+        computed once; ``record.from_cache`` tells which and
+        ``record.backend`` tells how. With ``with_metrics=True``, a
+        ``(records, snapshot)`` tuple instead.
 
     Raises:
         ValueError: If ``configs`` is empty, a runtime objective is
-            requested without a workload, or a config holds a value that
-            cannot be content-hashed (the message names the offending
-            field path).
+            requested without a workload, an unknown backend is named,
+            or a config holds a value that cannot be content-hashed
+            (the message names the offending field path).
     """
+    from repro import batch
+
     configs = list(configs)
     if not configs:
         raise ValueError("need at least one configuration to evaluate")
@@ -130,14 +153,26 @@ def evaluate_many(
             raise ValueError(
                 f"objective {name!r} requires a workload"
             )
+    resolved_backend = batch.resolve_backend(backend)
 
-    keys = [config_key(config, workload) for config in configs]
+    if _keys is not None:
+        if len(_keys) != len(configs):
+            raise ValueError(
+                f"got {len(_keys)} precomputed keys for "
+                f"{len(configs)} configs"
+            )
+        keys = list(_keys)
+    else:
+        keys = [config_key(config, workload) for config in configs]
     records: dict[str, EvalRecord] = {}
 
     # Serve cache hits, and deduplicate repeats within the batch.
     to_compute: list[tuple[str, SystemConfig]] = []
+    compute_group_keys: list[str] | None = (
+        [] if _group_keys is not None else None
+    )
     seen: set[str] = set()
-    for key, config in zip(keys, configs):
+    for i, (key, config) in enumerate(zip(keys, configs)):
         if key in seen:
             continue
         seen.add(key)
@@ -146,6 +181,18 @@ def evaluate_many(
             records[key] = hit
         else:
             to_compute.append((key, config))
+            if compute_group_keys is not None:
+                assert _group_keys is not None
+                compute_group_keys.append(_group_keys[i])
+
+    if to_compute and resolved_backend == "numpy" and workload is None:
+        batched, to_compute = batch.evaluate_batch(
+            to_compute, group_keys=compute_group_keys,
+        )
+        for key, record in batched.items():
+            records[key] = record
+            if cache is not None:
+                cache.put(key, record)
 
     if to_compute:
         fresh = evaluate_payloads(

@@ -37,6 +37,11 @@ class EvalRecord:
         throughput_ips: Committed instructions/s (None without a workload).
         from_cache: True when this record was served from a cache or
             checkpoint rather than computed (excluded from equality).
+        backend: Which evaluation path produced the numbers —
+            ``"scalar"`` (the exact reference) or ``"numpy"`` (the
+            vectorized batch backend, within 1e-9 relative). Provenance
+            only: excluded from equality and from :meth:`to_dict`, so
+            caches and checkpoints stay backend-agnostic.
     """
 
     name: str
@@ -52,6 +57,7 @@ class EvalRecord:
     power_w: float | None = None
     throughput_ips: float | None = None
     from_cache: bool = field(default=False, compare=False)
+    backend: str = field(default="scalar", compare=False)
 
     @property
     def energy_j(self) -> float | None:
@@ -85,6 +91,7 @@ class EvalRecord:
         """Serialize for the JSONL cache/checkpoint stores."""
         data = dataclasses.asdict(self)
         del data["from_cache"]
+        del data["backend"]
         return data
 
     @classmethod

@@ -9,17 +9,27 @@ common sweep dimensions (``cores``, ``tech_nm``).
 :func:`run_sweep` evaluates the grid through the batch engine and can
 append every finished point to a JSONL checkpoint; re-running with the
 same checkpoint file resumes with exactly the unevaluated remainder.
+
+The grid is streamed, never materialized: :meth:`SweepSpec.iter_points`
+builds one config at a time (copy-on-write along the axis paths instead
+of a deep copy per point), so a 100k-point grid holds one chunk of
+pending work in memory, not 100k config dicts. Cache keys are rendered
+through a per-sweep JSON template (:class:`_KeyTemplate`) that splices
+axis values into the one position they occupy in the canonical key
+payload — validated against :func:`~repro.engine.cache.config_key` and
+discarded wholesale on any mismatch, so keys are always exactly the
+ones the scalar path would compute.
 """
 
 from __future__ import annotations
 
-import copy
 import dataclasses
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro import obs
 from repro.config.loader import (
@@ -27,7 +37,12 @@ from repro.config.loader import (
     system_config_to_dict,
 )
 from repro.config.schema import SystemConfig
-from repro.engine.cache import DEFAULT_CACHE, EvalCache, config_key
+from repro.engine.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE,
+    EvalCache,
+    config_key,
+)
 from repro.engine.record import EvalRecord
 from repro.perf.workload import Workload
 
@@ -37,6 +52,22 @@ AXIS_ALIASES = {
     "tech_nm": "node_nm",
     "node": "node_nm",
 }
+
+#: Minimum evaluation chunk under the numpy backend: a compiled group is
+#: amortized over the points of one chunk, so batch chunks must be large
+#: even when ``checkpoint_every`` is small. Purely an efficiency knob —
+#: results and resume semantics are chunk-size independent.
+_BATCH_CHUNK_POINTS = 1024
+
+#: Placeholder spliced into the key payload where an axis value goes.
+#: NUL bytes cannot appear in real config data (they would be escaped
+#: the same way, which is exactly why the match is unambiguous).
+_AXIS_SENTINEL = "\x00repro-sweep-axis-{}\x00"
+
+#: Axis value types whose JSON rendering trivially round-trips through
+#: config construction; other types are template-validated per distinct
+#: value (see ``run_sweep``'s ``key_for``).
+_SAFE_VALUE_TYPES = (int, float, bool, type(None))
 
 
 def _resolve_path(base_dict: dict[str, Any], name: str) -> str:
@@ -65,6 +96,158 @@ def _set_path(config_dict: dict[str, Any], path: str, value: Any) -> None:
     for part in parts[:-1]:
         node = node[part]
     node[parts[-1]] = value
+
+
+def _overlay(
+    base_dict: dict[str, Any],
+    paths: Sequence[Sequence[str]],
+    values: Sequence[Any],
+) -> dict[str, Any]:
+    """Set axis values into a copy-on-write overlay of ``base_dict``.
+
+    Only the dicts along the written paths are copied; untouched
+    subtrees are shared with ``base_dict`` (they are read-only
+    downstream). This replaces the per-point deep copy that dominated
+    grid construction time.
+    """
+    out = dict(base_dict)
+    copied: dict[int, dict[str, Any]] = {id(base_dict): out}
+    for parts, value in zip(paths, values):
+        node = out
+        for part in parts[:-1]:
+            child = node[part]
+            fresh = copied.get(id(child))
+            if fresh is None:
+                fresh = dict(child)
+                copied[id(child)] = fresh
+                copied[id(fresh)] = fresh
+            node[part] = fresh
+            node = fresh
+        node[parts[-1]] = value
+    return out
+
+
+class _KeyTemplate:
+    """Renders sweep cache keys by splicing values into a JSON template.
+
+    :func:`~repro.engine.cache.config_key` costs a full config
+    serialization per point; over a sweep every point's key payload is
+    identical except at the axis leaf positions. The template dumps the
+    payload once with sentinel strings at those positions, splits the
+    canonical JSON blob around them, and renders each point's key by
+    joining the fixed fragments with ``json.dumps(value)`` — a string
+    concatenation and one sha256 instead of a config walk.
+
+    Correctness is enforced, not assumed: ``run_sweep`` compares the
+    template key against the real ``config_key`` on the first grid
+    point (and once per distinct non-scalar axis value) and discards
+    the template on any mismatch. ``build`` itself refuses payloads it
+    cannot uniquely template (an axis shadowed by another axis, or a
+    payload JSON cannot serialize).
+    """
+
+    __slots__ = ("_parts", "_order")
+
+    def __init__(self, parts: list[str], order: list[int]) -> None:
+        self._parts = parts
+        self._order = order
+
+    @classmethod
+    def build(
+        cls, spec: "SweepSpec", workload: Workload | None,
+    ) -> "_KeyTemplate | None":
+        base_dict = system_config_to_dict(spec.base)
+        paths = [axis.path.split(".") for axis in spec.axes]
+        sentinels = [_AXIS_SENTINEL.format(i) for i in range(len(paths))]
+        shadow = _overlay(base_dict, paths, sentinels)
+        payload = {
+            "v": CACHE_SCHEMA_VERSION,
+            "config": shadow,
+            "workload": (
+                dataclasses.asdict(workload)
+                if workload is not None else None
+            ),
+        }
+        try:
+            blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            return None
+        spans: list[tuple[int, int, int]] = []
+        for i, sentinel in enumerate(sentinels):
+            token = json.dumps(sentinel)
+            start = blob.find(token)
+            if start < 0 or blob.find(token, start + 1) >= 0:
+                return None
+            spans.append((start, start + len(token), i))
+        spans.sort()
+        parts: list[str] = []
+        order: list[int] = []
+        cursor = 0
+        for start, end, i in spans:
+            parts.append(blob[cursor:start])
+            order.append(i)
+            cursor = end
+        parts.append(blob[cursor:])
+        return cls(parts, order)
+
+    def render(self, combo: Sequence[Any]) -> str:
+        """Key for one grid point (axis values in spec order).
+
+        Raises:
+            TypeError, ValueError: When a value is not JSON-serializable
+                (the caller falls back to :func:`config_key`).
+        """
+        pieces: list[str] = []
+        for part, i in zip(self._parts, self._order):
+            pieces.append(part)
+            pieces.append(
+                json.dumps(combo[i], sort_keys=True, separators=(",", ":"))
+            )
+        pieces.append(self._parts[-1])
+        return hashlib.sha256("".join(pieces).encode("utf-8")).hexdigest()
+
+
+class _SweepKeys:
+    """Per-sweep cache-key renderer with self-validation.
+
+    Wraps a :class:`_KeyTemplate` and the bookkeeping that keeps it
+    honest: the first grid point — and the first occurrence of every
+    distinct non-scalar axis value — is double-computed against the
+    exact :func:`config_key` path; any mismatch (or a value the
+    template cannot render) discards the template for the rest of the
+    sweep. A rendered key is therefore only ever trusted after its
+    value pattern has matched the exact path at least once.
+    """
+
+    def __init__(self, spec: "SweepSpec", workload: Workload | None) -> None:
+        self.workload = workload
+        self.template = _KeyTemplate.build(spec, workload)
+        self.validated: list[set[str]] = [set() for _ in spec.axes]
+        self.unvalidated = True
+
+    def key_for(self, combo: tuple[Any, ...], config: SystemConfig) -> str:
+        if self.template is None:
+            return config_key(config, self.workload)
+        try:
+            fast = self.template.render(combo)
+        except (TypeError, ValueError):
+            self.template = None
+            return config_key(config, self.workload)
+        if not self.unvalidated and all(
+            isinstance(value, _SAFE_VALUE_TYPES)
+            or repr(value) in self.validated[i]
+            for i, value in enumerate(combo)
+        ):
+            return fast
+        slow = config_key(config, self.workload)
+        if fast != slow:
+            self.template = None
+            return slow
+        self.unvalidated = False
+        for i, value in enumerate(combo):
+            if not isinstance(value, _SAFE_VALUE_TYPES):
+                self.validated[i].add(repr(value))
+        return fast
 
 
 @dataclass(frozen=True)
@@ -138,21 +321,70 @@ class SweepSpec:
             total *= len(axis.values)
         return total
 
-    def points(self) -> list[SweepPoint]:
-        """The full cross product, last axis varying fastest."""
+    def _iter_built(
+        self,
+    ) -> Iterator[tuple[tuple[Any, ...], dict[str, Any], SystemConfig]]:
+        """Stream ``(combo, overrides, config)`` in grid order.
+
+        When every axis is a top-level scalar field (the common
+        frequency/voltage/temperature sweeps), the nested component
+        configs are identical across the whole grid: one template
+        config is built from the first point and every other point is
+        a ``dataclasses.replace`` of it — the frozen sub-configs are
+        shared, only the top-level dataclass (and its validators) is
+        rebuilt. The shortcut only fires when each axis value is an
+        instance of the field's built type (``from_dict`` converts
+        enum-typed fields, which ``replace`` must not skip); nested
+        axes and type-changing values take the general dict-overlay
+        path.
+        """
         base_dict = system_config_to_dict(self.base)
-        built: list[SweepPoint] = []
+        paths = [axis.path.split(".") for axis in self.axes]
+        names = [axis.name for axis in self.axes]
+        flat = all(
+            len(parts) == 1 and not isinstance(base_dict[parts[0]], dict)
+            for parts in paths
+        )
+        field_types: tuple[type, ...] | None = None
+        template_config: SystemConfig | None = None
         for combo in itertools.product(*(a.values for a in self.axes)):
-            config_dict = copy.deepcopy(base_dict)
-            overrides: dict[str, Any] = {}
-            for axis, value in zip(self.axes, combo):
-                _set_path(config_dict, axis.path, value)
-                overrides[axis.name] = value
-            built.append(SweepPoint(
-                overrides=overrides,
-                config=system_config_from_dict(config_dict),
-            ))
-        return built
+            if (
+                flat
+                and template_config is not None
+                and field_types is not None
+                and all(
+                    isinstance(value, kind)
+                    for value, kind in zip(combo, field_types)
+                )
+            ):
+                config = dataclasses.replace(
+                    template_config,
+                    **{parts[0]: value
+                       for parts, value in zip(paths, combo)},
+                )
+            else:
+                config_dict = _overlay(base_dict, paths, combo)
+                config = system_config_from_dict(config_dict)
+                template_config = config
+                if flat:
+                    field_types = tuple(
+                        type(getattr(config, parts[0]))
+                        for parts in paths
+                    )
+            yield combo, dict(zip(names, combo)), config
+
+    def iter_points(self) -> Iterator[SweepPoint]:
+        """Stream the cross product lazily, last axis varying fastest.
+
+        Each point is built on demand — the grid is never materialized,
+        so arbitrarily large sweeps use constant memory here.
+        """
+        for _, overrides, config in self._iter_built():
+            yield SweepPoint(overrides=overrides, config=config)
+
+    def points(self) -> list[SweepPoint]:
+        """The full cross product as a list (see :meth:`iter_points`)."""
+        return list(self.iter_points())
 
 
 def _load_checkpoint(path: Path) -> dict[str, EvalRecord]:
@@ -179,6 +411,7 @@ def run_sweep(
     cache: EvalCache | None = DEFAULT_CACHE,
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 16,
+    backend: str | None = None,
 ) -> list[SweepPointResult]:
     """Evaluate a sweep grid, optionally checkpointing each point.
 
@@ -191,67 +424,116 @@ def run_sweep(
         checkpoint_path: JSONL file appended to as points finish. If it
             already holds points of this grid, they are not re-evaluated.
         checkpoint_every: Points evaluated between checkpoint appends
-            (bounds how much work an interrupt can lose).
+            (bounds how much work an interrupt can lose). Under the
+            numpy backend, chunks grow to at least ``_BATCH_CHUNK_POINTS``
+            so each compiled group amortizes over enough points.
+        backend: Evaluation backend, per
+            :func:`repro.engine.evaluate_many`: ``None``/``"scalar"``
+            (exact, default), ``"numpy"``, or ``"auto"``. Frequency and
+            temperature axes vectorize; axes that change chip structure
+            partition the grid into groups evaluated one compile each.
 
     Returns:
         One result per grid point, in grid order.
     """
+    from repro import batch as _batch
     from repro.engine import evaluate_many
 
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    resolved = _batch.resolve_backend(backend)
+    chunk_size = (
+        checkpoint_every if resolved == "scalar"
+        else max(checkpoint_every, _BATCH_CHUNK_POINTS)
+    )
+    use_hints = resolved == "numpy"
+    structural = [
+        i for i, axis in enumerate(spec.axes)
+        if axis.path not in _batch.GROUP_AXES
+    ]
 
-    points = spec.points()
-    keys = [config_key(p.config, workload) for p in points]
-
-    done: dict[str, EvalRecord] = {}
     checkpoint = Path(checkpoint_path) if checkpoint_path else None
-    if checkpoint is not None:
-        done = _load_checkpoint(checkpoint)
+    done: dict[str, EvalRecord] = (
+        _load_checkpoint(checkpoint) if checkpoint is not None else {}
+    )
 
-    records: dict[str, EvalRecord] = {}
-    pending: list[int] = []
-    for i, key in enumerate(keys):
-        if key in done:
-            records[key] = dataclasses.replace(done[key], from_cache=True)
-        else:
-            pending.append(i)
+    keys = _SweepKeys(spec, workload)
 
-    with obs.span(
-        "engine.run_sweep", category="engine",
-        points=len(points), pending=len(pending), jobs=jobs,
-    ):
-        for start in range(0, len(pending), checkpoint_every):
-            batch = pending[start:start + checkpoint_every]
-            fresh = evaluate_many(
-                [points[i].config for i in batch],
-                workload=workload,
-                jobs=jobs,
-                cache=cache,
+    results: list[SweepPointResult | None] = []
+    buf_slots: list[int] = []
+    buf_points: list[SweepPoint] = []
+    buf_keys: list[str] = []
+    buf_groups: list[str] = []
+
+    def flush() -> None:
+        if not buf_points:
+            return
+        fresh = evaluate_many(
+            [point.config for point in buf_points],
+            workload=workload,
+            jobs=jobs,
+            cache=cache,
+            backend=resolved,
+            _keys=list(buf_keys),
+            _group_keys=list(buf_groups) if use_hints else None,
+        )
+        lines = []
+        for slot, point, key, record in zip(
+            buf_slots, buf_points, buf_keys, fresh,
+        ):
+            results[slot] = SweepPointResult(
+                overrides=point.overrides,
+                config=point.config,
+                record=record,
             )
-            lines = []
-            for i, record in zip(batch, fresh):
-                records[keys[i]] = record
+            if checkpoint is not None:
                 lines.append(json.dumps(
                     {
-                        "key": keys[i],
-                        "overrides": points[i].overrides,
+                        "key": key,
+                        "overrides": point.overrides,
                         "record": record.to_dict(),
                     },
                     sort_keys=True,
                 ))
-            if checkpoint is not None and lines:
-                with checkpoint.open("a") as handle:
-                    handle.write("\n".join(lines) + "\n")
+        if checkpoint is not None and lines:
+            with checkpoint.open("a") as handle:
+                handle.write("\n".join(lines) + "\n")
+        buf_slots.clear()
+        buf_points.clear()
+        buf_keys.clear()
+        buf_groups.clear()
 
-    return [
-        SweepPointResult(
-            overrides=point.overrides,
-            config=point.config,
-            record=records[key],
-        )
-        for point, key in zip(points, keys)
-    ]
+    with obs.span(
+        "engine.run_sweep", category="engine",
+        points=spec.n_points, jobs=jobs, backend=resolved,
+    ):
+        for combo, overrides, config in spec._iter_built():
+            key = keys.key_for(combo, config)
+            if key in done:
+                results.append(SweepPointResult(
+                    overrides=overrides,
+                    config=config,
+                    record=dataclasses.replace(
+                        done[key], from_cache=True,
+                    ),
+                ))
+                continue
+            buf_slots.append(len(results))
+            results.append(None)
+            buf_points.append(SweepPoint(
+                overrides=overrides, config=config,
+            ))
+            buf_keys.append(key)
+            if use_hints:
+                buf_groups.append(repr(tuple(
+                    (spec.axes[i].path, repr(combo[i]))
+                    for i in structural
+                )))
+            if len(buf_points) >= chunk_size:
+                flush()
+        flush()
+
+    return [result for result in results if result is not None]
 
 
 def format_sweep_table(results: Iterable[SweepPointResult]) -> str:

@@ -23,7 +23,9 @@ Endpoints::
                            memo counters, serve request counters)
     POST /evaluate         one config -> EvalRecord (+ report text)
     POST /sweep            SweepSpec grid -> batched results; with
-                           {"async": true} returns a job id instead
+                           {"async": true} returns a job id instead;
+                           {"backend": "numpy"|"auto"} opts into the
+                           vectorized batch backend (scalar default)
     GET  /jobs/<id>        async sweep status/result
 
 Evaluations run on a small thread pool behind the event loop. Model
@@ -498,12 +500,14 @@ class EvalServer:
         spec: SweepSpec,
         workload: Workload | None,
         jobs: int,
+        backend: str,
         parent_span_id: int | None,
     ) -> dict[str, Any]:
         """Executor-side body of one ``/sweep`` request."""
         with obs.attach(parent_span_id):
             results = run_sweep(
                 spec, workload=workload, jobs=jobs, cache=self.cache,
+                backend=backend,
             )
         return {
             "n_points": len(results),
@@ -535,6 +539,11 @@ class EvalServer:
         if not isinstance(jobs, int) or jobs < 1:
             raise HttpError(400, "'jobs' must be a positive integer")
         jobs = min(jobs, self.config.jobs)
+        backend = payload.get("backend", "scalar")
+        if backend not in ("auto", "scalar", "numpy"):
+            raise HttpError(
+                400, "'backend' must be one of: auto, scalar, numpy"
+            )
         try:
             spec = SweepSpec.from_axes(base, dict(axes))
         except ValueError as exc:
@@ -544,7 +553,7 @@ class EvalServer:
         if not payload.get("async", False):
             result = await self._admitted(
                 lambda: self._sweep_work(
-                    spec, workload, jobs, parent_span_id,
+                    spec, workload, jobs, backend, parent_span_id,
                 ),
             )
             self._count("serve.sweeps")
@@ -557,7 +566,9 @@ class EvalServer:
         )
         self._jobs[job.job_id] = job
         task = asyncio.get_running_loop().create_task(
-            self._run_job(job, spec, workload, jobs, parent_span_id),
+            self._run_job(
+                job, spec, workload, jobs, backend, parent_span_id,
+            ),
         )
         self._job_tasks.add(task)
         task.add_done_callback(self._job_tasks.discard)
@@ -574,6 +585,7 @@ class EvalServer:
         spec: SweepSpec,
         workload: Workload | None,
         jobs: int,
+        backend: str,
         parent_span_id: int | None,
     ) -> None:
         """Drive one async sweep job through the same admission path."""
@@ -581,7 +593,7 @@ class EvalServer:
             job.status = "running"
             job.result = await self._admitted(
                 lambda: self._sweep_work(
-                    spec, workload, jobs, parent_span_id,
+                    spec, workload, jobs, backend, parent_span_id,
                 ),
             )
             job.status = "done"

@@ -162,11 +162,14 @@ class ServeClient:
         config: Mapping[str, Any] | None = None,
         workload: str | None = None,
         jobs: int = 1,
+        backend: str | None = None,
         background: bool = False,
         trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Batch-evaluate a parameter grid (``POST /sweep``).
 
+        ``backend`` selects the evaluation path (``"scalar"`` default;
+        ``"numpy"``/``"auto"`` opt into the vectorized batch backend).
         With ``background=True`` the server answers immediately with a
         ``job_id``; poll it with :meth:`job` or :meth:`wait_job`.
         """
@@ -181,6 +184,8 @@ class ServeClient:
             payload["config"] = dict(config)
         if workload is not None:
             payload["workload"] = workload
+        if backend is not None:
+            payload["backend"] = backend
         return self.request("POST", "/sweep", payload, trace_id=trace_id)
 
     def job(self, job_id: str) -> dict[str, Any]:

@@ -1,0 +1,71 @@
+"""Unit tests for the piecewise-affine response representation."""
+
+import pytest
+
+from repro.batch import PiecewiseAffine
+from repro.batch._numpy import get_numpy, have_numpy
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="numpy not installed"
+)
+
+TWO_SEGMENTS = PiecewiseAffine(
+    breakpoints=(2.0e9,),
+    anchors=(1.0e9, 2.0e9),
+    values=(10.0, 30.0),
+    slopes=(2.0e-8, 5.0e-9),
+)
+
+
+class TestConstruction:
+    def test_segment_count_must_match_breakpoints(self):
+        with pytest.raises(ValueError, match="segment"):
+            PiecewiseAffine(
+                breakpoints=(1.0e9,), anchors=(0.0,), values=(1.0,),
+                slopes=(0.0,),
+            )
+
+    def test_breakpoints_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            PiecewiseAffine(
+                breakpoints=(2.0e9, 1.0e9),
+                anchors=(0.0, 0.0, 0.0),
+                values=(1.0, 1.0, 1.0),
+                slopes=(0.0, 0.0, 0.0),
+            )
+
+    def test_constant(self):
+        flat = PiecewiseAffine.constant(42.0, anchor=1.0e9)
+        assert flat.value(0.5e9) == 42
+        assert flat.value(2.0e9) == 42
+
+
+class TestScalarEvaluation:
+    def test_first_segment(self):
+        f = 1.5e9
+        assert TWO_SEGMENTS.value(f) == 10.0 + 2.0e-8 * (f - 1.0e9)
+
+    def test_second_segment(self):
+        f = 3.0e9
+        assert TWO_SEGMENTS.value(f) == 30.0 + 5.0e-9 * (f - 2.0e9)
+
+    def test_breakpoint_belongs_to_the_right_segment(self):
+        # bisect_right: f == breakpoint evaluates on the later segment,
+        # whose anchor it is — continuity is the compiler's concern.
+        assert TWO_SEGMENTS.value(2.0e9) == 30
+
+
+@needs_numpy
+class TestArrayEvaluation:
+    def test_matches_scalar_path_elementwise(self):
+        np = get_numpy()
+        freqs = [1.0e9, 1.5e9, 2.0e9, 2.5e9, 3.0e9]
+        out = TWO_SEGMENTS.values_array(freqs, np)
+        for f, value in zip(freqs, out):
+            assert value == TWO_SEGMENTS.value(f)
+
+    def test_constant_broadcasts(self):
+        np = get_numpy()
+        flat = PiecewiseAffine.constant(7.0)
+        out = flat.values_array([1.0, 2.0, 3.0], np)
+        assert list(out) == [7.0, 7.0, 7.0]

@@ -1,0 +1,213 @@
+"""Sweeps under the batch backend: laziness, key templates, resume."""
+
+import itertools
+import json
+from typing import Iterator
+
+import pytest
+
+from repro import batch
+from repro.batch import backend as backend_mod
+from repro.engine import EvalCache, SweepSpec, config_key, run_sweep
+from repro.engine.sweep import _KeyTemplate, _SweepKeys
+from repro.tech.device import DeviceType
+
+from tests.conftest import make_tiny_config
+
+needs_numpy = pytest.mark.skipif(
+    not batch.have_numpy(), reason="numpy not installed"
+)
+
+
+def freqs(n, base_hz=1.0e9):
+    return tuple(base_hz * (1.0 + 0.05 * i) for i in range(n))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend_state():
+    backend_mod._COMPILED_GROUPS.clear()
+    batch.reset_counters()
+    yield
+
+
+class TestLazyGrid:
+    def test_iter_points_is_a_generator(self):
+        spec = SweepSpec.from_axes(
+            make_tiny_config(), {"clock_hz": freqs(3)})
+        stream = spec.iter_points()
+        assert isinstance(stream, Iterator)
+
+    def test_large_grid_streams_without_materializing(self):
+        # 100k points: building them all would take minutes; taking the
+        # first two must be instant because the grid is a stream.
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"clock_hz": freqs(1000), "temperature_k": tuple(
+                300.0 + i for i in range(100)
+            )},
+        )
+        assert spec.n_points == 100_000
+        first, second = itertools.islice(spec.iter_points(), 2)
+        assert first.config.clock_hz == pytest.approx(1.0e9)
+        assert second.overrides["temperature_k"] == 301
+
+    def test_replace_fast_path_matches_from_dict(self):
+        # Same grid built twice; the template-config shortcut must not
+        # change what comes out (notably validator-derived state).
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "clock_hz": freqs(2)},
+        )
+        for point in spec.iter_points():
+            rebuilt = make_tiny_config(
+                n_cores=point.config.n_cores,
+                clock_hz=point.config.clock_hz,
+            )
+            assert config_key(point.config, None) == config_key(
+                rebuilt, None
+            )
+
+    def test_enum_axis_builds_typed_configs(self):
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"device_type": ("hp", "lop"), "clock_hz": freqs(2)},
+        )
+        kinds = [p.config.device_type for p in spec.iter_points()]
+        assert all(isinstance(kind, DeviceType) for kind in kinds)
+        assert kinds[0] != kinds[2]
+
+
+class TestKeyTemplate:
+    def assert_keys_exact(self, spec, workload=None):
+        keys = _SweepKeys(spec, workload)
+        for combo, _, config in spec._iter_built():
+            assert keys.key_for(combo, config) == config_key(
+                config, workload
+            )
+        return keys
+
+    def test_scalar_axes_render_exact_keys(self):
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"clock_hz": freqs(3), "temperature_k": (340.0, 360.0)},
+        )
+        keys = self.assert_keys_exact(spec)
+        assert keys.template is not None  # fast path stayed engaged
+
+    def test_alias_and_dotted_axes_render_exact_keys(self):
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "core.issue_width": (1, 2)},
+        )
+        keys = self.assert_keys_exact(spec)
+        assert keys.template is not None
+
+    def test_enum_string_axis_falls_back_to_exact_keys(self):
+        # "hp" renders into the template as a JSON string — which is
+        # also how the canonical payload serializes the enum, so the
+        # template survives; every distinct value is cross-checked.
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"device_type": ("hp", "lop"), "clock_hz": freqs(2)},
+        )
+        self.assert_keys_exact(spec)
+
+    def test_shadowed_axis_cannot_be_templated(self):
+        # Two axes addressing the same field: the second sentinel
+        # overwrites the first, so the template refuses the payload and
+        # every key takes the exact path.
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "n_cores": (3, 4)},
+        )
+        assert _KeyTemplate.build(spec, None) is None
+        self.assert_keys_exact(spec)
+
+
+@needs_numpy
+class TestBatchSweep:
+    def test_numpy_sweep_matches_scalar_sweep(self):
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "clock_hz": freqs(5)},
+        )
+        scalar = run_sweep(spec, cache=EvalCache())
+        vectorized = run_sweep(
+            spec, cache=EvalCache(), backend="numpy",
+        )
+        assert batch.counters()["points_vectorized"] == spec.n_points
+        assert [r.record.key for r in vectorized] == [
+            r.record.key for r in scalar
+        ]
+        for ref, got in zip(scalar, vectorized):
+            assert got.overrides == ref.overrides
+            assert got.record.backend == "numpy"
+            assert got.record.tdp_w == pytest.approx(
+                ref.record.tdp_w, rel=1e-9
+            )
+            assert got.record.area_mm2 == pytest.approx(
+                ref.record.area_mm2, rel=1e-9
+            )
+
+    def test_resume_skips_batch_completed_groups(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        full = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "clock_hz": freqs(12)},
+        )
+        half = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "clock_hz": freqs(12)[:4]},
+        )
+        # Stage 1: a scalar run covers a third of the grid.
+        run_sweep(
+            half, cache=EvalCache(), checkpoint_path=checkpoint,
+        )
+        assert len(checkpoint.read_text().splitlines()) == 8
+
+        # Stage 2: the numpy run resumes — checkpointed points must be
+        # served from the checkpoint, the remainder vectorized.
+        cache = EvalCache()
+        results = run_sweep(
+            full, cache=cache, checkpoint_path=checkpoint,
+            backend="numpy",
+        )
+        assert len(results) == full.n_points
+        resumed = [r for r in results if r.record.from_cache]
+        assert len(resumed) == 8
+        assert cache.misses == 16
+        assert batch.counters()["points_vectorized"] == 16
+
+        # The checkpoint now holds the whole grid, keyed identically to
+        # what a pure scalar run computes.
+        entries = [
+            json.loads(line)
+            for line in checkpoint.read_text().splitlines()
+        ]
+        assert len(entries) == full.n_points
+        scalar = run_sweep(full, cache=EvalCache())
+        assert {e["key"] for e in entries} == {
+            r.record.key for r in scalar
+        }
+
+        # Stage 3: resuming a finished sweep evaluates nothing.
+        cache = EvalCache()
+        again = run_sweep(
+            full, cache=cache, checkpoint_path=checkpoint,
+            backend="numpy",
+        )
+        assert cache.misses == 0
+        assert all(r.record.from_cache for r in again)
+
+    def test_structural_fallback_group_stays_scalar(self):
+        # Two points per structure group sit below the compile
+        # threshold; the sweep must still return them (scalar path),
+        # with the fallback visible in the counters.
+        spec = SweepSpec.from_axes(
+            make_tiny_config(),
+            {"cores": (1, 2), "clock_hz": freqs(2)},
+        )
+        results = run_sweep(spec, cache=EvalCache(), backend="numpy")
+        assert len(results) == 4
+        assert all(r.record.backend == "scalar" for r in results)
+        assert batch.counters()["points_fallback"] == 4

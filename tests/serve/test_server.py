@@ -270,6 +270,32 @@ class TestSweep:
             served = client.evaluate(config=tiny_dict(), report=False)
         assert served["from_cache"] is True
 
+    def test_sweep_backend_request_round_trips(self):
+        from repro import batch
+
+        axes = {"clock_hz": [1.0e9, 1.1e9, 1.2e9, 1.3e9]}
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            client = server.client()
+            result = client.sweep(
+                axes=axes, config=tiny_dict(), backend="auto",
+            )
+            metrics = client.metrics()
+        assert result["n_points"] == 4
+        tdps = [p["record"]["tdp_w"] for p in result["points"]]
+        assert tdps == sorted(tdps)  # TDP grows with frequency
+        if batch.have_numpy():
+            assert metrics["counters"]["batch.points_vectorized"] >= 4
+
+    def test_sweep_invalid_backend_400(self):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            with pytest.raises(ServeError) as exc:
+                server.client().sweep(
+                    axes={"cores": [1, 2]}, config=tiny_dict(),
+                    backend="warp",
+                )
+        assert exc.value.status == 400
+        assert "backend" in exc.value.detail
+
 
 class TestAdmissionControl:
     def test_queue_saturation_returns_503_with_retry_after(
