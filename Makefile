@@ -7,8 +7,8 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
-	$(PYTHON) -m repro.cli lint src tests
-	$(PYTHON) -m repro.cli lint --dimensional src
+	$(PYTHON) -m repro.cli lint --all src
+	$(PYTHON) -m repro.cli lint --concurrency tests
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \

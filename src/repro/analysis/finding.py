@@ -137,6 +137,46 @@ RULE_INFO: tuple[RuleInfo, ...] = (
         "entries with units from the seed grammar)",
     ),
     RuleInfo(
+        "CONC001",
+        "unsynchronized-shared-mutation",
+        "module-level or escaping instance state reachable from two or "
+        "more thread contexts must only be mutated under a lock (or a "
+        "declared '# repro: guarded-by[lockname]' discipline)",
+    ),
+    RuleInfo(
+        "CONC002",
+        "blocking-call-in-async",
+        "blocking primitives (time.sleep, sync file I/O, subprocess, "
+        "Lock.acquire, scalar evaluation) must not be transitively "
+        "reachable inside an async def without an executor hop",
+    ),
+    RuleInfo(
+        "CONC003",
+        "fork-unsafe-inherited-state",
+        "fork-worker entry points must not touch locks, open files, "
+        "sockets, or executors inherited from the parent process unless "
+        "they are reinitialized via os.register_at_fork(after_in_child)",
+    ),
+    RuleInfo(
+        "CONC004",
+        "closure-capture-race",
+        "mutable objects captured into executor/pool task closures must "
+        "not be mutated on both sides of the submission",
+    ),
+    RuleInfo(
+        "CONCNOTE",
+        "guarded-by-annotation-malformed",
+        "# repro: guarded-by[lockname] annotation comments must parse, "
+        "attach to a state definition, and name a lock in scope",
+    ),
+    RuleInfo(
+        "LINT001",
+        "unused-suppression",
+        "a '# repro: noqa[...]' comment must suppress at least one "
+        "finding of an active pass; stale suppressions are removed, not "
+        "accumulated",
+    ),
+    RuleInfo(
         "IO001",
         "unreadable-source-file",
         "files the linter is asked to check must be readable; an "
@@ -144,11 +184,24 @@ RULE_INFO: tuple[RuleInfo, ...] = (
     ),
 )
 
-#: Rules produced by the interprocedural dimensional pass (enabled via
-#: ``lint --dimensional``) or by the driver itself rather than by a
-#: per-module check function in :mod:`repro.analysis.rules`.
+#: Rules produced by the interprocedural dimensional pass (``lint
+#: --dimensional``), the concurrency pass (``lint --concurrency``), or
+#: the driver itself rather than by a per-module check function in
+#: :mod:`repro.analysis.rules`.
 DRIVER_RULE_IDS: frozenset[str] = frozenset({
-    "DIM001", "DIM002", "DIM003", "DIM004", "DIMNOTE", "IO001",
+    "DIM001", "DIM002", "DIM003", "DIM004", "DIMNOTE",
+    "CONC001", "CONC002", "CONC003", "CONC004", "CONCNOTE",
+    "LINT001", "IO001",
+})
+
+#: Rule ids per analysis pass, for the LINT001 unused-suppression check
+#: (a ``noqa[DIM003]`` is only "unused" when the dimensional pass
+#: actually ran) and for the merged JSON report.
+DIM_RULE_IDS: frozenset[str] = frozenset({
+    "DIM001", "DIM002", "DIM003", "DIM004", "DIMNOTE",
+})
+CONC_RULE_IDS: frozenset[str] = frozenset({
+    "CONC001", "CONC002", "CONC003", "CONC004", "CONCNOTE",
 })
 
 #: Rule id -> metadata.

@@ -21,12 +21,18 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.context import ModuleSource, ProjectIndex, build_index
-from repro.analysis.finding import ALL_RULE_IDS, Finding
+from repro.analysis.finding import (
+    ALL_RULE_IDS,
+    CONC_RULE_IDS,
+    DIM_RULE_IDS,
+    Finding,
+)
 from repro.analysis.noqa import parse_suppressions
 from repro.analysis.rules import CHECKS
 
-#: JSON output schema version (``--format json``).
-JSON_SCHEMA_VERSION = 1
+#: JSON output schema version (``--format json``). Version 2 added the
+#: ``passes`` list and the merged-pass findings (CONC/LINT rules).
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -37,11 +43,14 @@ class LintResult:
         findings: Surviving findings, sorted by location.
         suppressed: Count of findings silenced by noqa comments.
         files_checked: Number of target files analyzed.
+        passes: Analysis passes that ran (``base`` always; plus
+            ``dimensional`` and/or ``concurrency``).
     """
 
     findings: tuple[Finding, ...] = ()
     suppressed: int = 0
     files_checked: int = 0
+    passes: tuple[str, ...] = ("base",)
 
     @property
     def ok(self) -> bool:
@@ -116,16 +125,28 @@ def validate_disable(disable: Iterable[str]) -> frozenset[str]:
     return frozenset(normalized)
 
 
+def _active_rules(passes: tuple[str, ...]) -> frozenset[str]:
+    """Rule ids the given passes can produce (for LINT001 staleness)."""
+    active = set(ALL_RULE_IDS)
+    if "dimensional" not in passes:
+        active -= DIM_RULE_IDS
+    if "concurrency" not in passes:
+        active -= CONC_RULE_IDS
+    return frozenset(active)
+
+
 def _lint_modules(
     targets: list[ModuleSource],
     parse_failures: list[Finding],
     disable: frozenset[str],
     index: ProjectIndex,
     extra: dict[str, list[Finding]] | None = None,
+    passes: tuple[str, ...] = ("base",),
 ) -> LintResult:
     findings: list[Finding] = list(parse_failures)
     suppressed = 0
     extra = extra or {}
+    active = _active_rules(passes)
     for module in targets:
         suppressions = parse_suppressions(module.source, ALL_RULE_IDS)
         for lineno, token in suppressions.unknown:
@@ -143,8 +164,56 @@ def _lint_modules(
             finding for finding in extra.get(module.path, [])
             if finding.rule not in disable
         ]
+        used_rules: set[tuple[int, str]] = set()
+        used_blanket: set[int] = set()
         for finding in module_findings:
-            if suppressions.is_suppressed(finding.line, finding.rule):
+            if finding.line in suppressions.blanket_lines:
+                suppressed += 1
+                used_blanket.add(finding.line)
+            elif finding.rule in suppressions.rule_lines.get(
+                finding.line, set()
+            ):
+                suppressed += 1
+                used_rules.add((finding.line, finding.rule))
+            else:
+                findings.append(finding)
+        if "LINT001" in disable:
+            continue
+        # Noqa hygiene: a suppression that silences nothing any active
+        # pass produces is stale. Rules of passes that did not run are
+        # left alone, as is LINT001 itself (suppressing the hygiene
+        # check is always an explicit waiver, never "unused").
+        stale: list[tuple[Finding, bool]] = []
+        for line, rules in sorted(suppressions.rule_lines.items()):
+            for rule in sorted(rules):
+                if rule == "LINT001" or rule not in active:
+                    continue
+                if (line, rule) not in used_rules:
+                    stale.append((Finding(
+                        module.path, line, 0, "LINT001",
+                        f"suppression '# repro: noqa[{rule}]' silences "
+                        f"no {rule} finding on this line; remove it",
+                    ), False))
+        if "dimensional" in passes and "concurrency" in passes:
+            # Only a full run can prove a blanket noqa dead.
+            for line in sorted(suppressions.blanket_lines):
+                if line not in used_blanket:
+                    stale.append((Finding(
+                        module.path, line, 0, "LINT001",
+                        "blanket suppression '# repro: noqa' silences "
+                        "no finding on this line; remove it",
+                    ), True))
+        for finding, about_blanket in stale:
+            # A stale-blanket report must not be silenced by the very
+            # blanket being flagged — only a targeted LINT001 waiver
+            # (or, for targeted staleness, any other suppression on the
+            # line) counts.
+            targeted = "LINT001" in suppressions.rule_lines.get(
+                finding.line, set(),
+            )
+            via_blanket = not about_blanket and \
+                finding.line in suppressions.blanket_lines
+            if targeted or via_blanket:
                 suppressed += 1
             else:
                 findings.append(finding)
@@ -152,20 +221,35 @@ def _lint_modules(
         findings=tuple(sorted(findings)),
         suppressed=suppressed,
         files_checked=len(targets) + len(parse_failures),
+        passes=passes,
     )
+
+
+def _merge_extra(
+    extra: dict[str, list[Finding]] | None,
+    more: dict[str, list[Finding]],
+) -> dict[str, list[Finding]]:
+    merged = dict(extra or {})
+    for path, findings in more.items():
+        merged.setdefault(path, [])
+        merged[path] = merged[path] + findings
+    return merged
 
 
 def lint_paths(
     paths: Sequence[str | Path],
     disable: Iterable[str] = (),
     dimensional: bool = False,
+    concurrency: bool = False,
 ) -> LintResult:
     """Lint files/directories; the main entry point behind the CLI.
 
     With ``dimensional=True`` the interprocedural dimension-inference
     pass also runs: the call graph spans every indexed module (targets
     plus the installed package) and DIM/DIMNOTE findings are reported
-    for the targets.
+    for the targets. With ``concurrency=True`` the concurrency-safety
+    pass runs over the same call graph and reports CONC/CONCNOTE
+    findings. Enabling both is ``mcpat-repro lint --all``.
     """
     disabled = validate_disable(disable)
     files = iter_python_files(paths)
@@ -185,11 +269,22 @@ def lint_paths(
     context = list(indexed.values())
     index = build_index(context)
     extra: dict[str, list[Finding]] | None = None
+    passes: tuple[str, ...] = ("base",)
     if dimensional:
         from repro.analysis.dimensional import analyze_dimensions
 
-        extra = analyze_dimensions(targets, context)
-    return _lint_modules(targets, parse_failures, disabled, index, extra)
+        extra = _merge_extra(extra, analyze_dimensions(targets, context))
+        passes = passes + ("dimensional",)
+    if concurrency:
+        from repro.analysis.concurrency import analyze_concurrency
+
+        extra = _merge_extra(
+            extra, analyze_concurrency(targets, context, disabled),
+        )
+        passes = passes + ("concurrency",)
+    return _lint_modules(
+        targets, parse_failures, disabled, index, extra, passes,
+    )
 
 
 def lint_source(
@@ -198,6 +293,7 @@ def lint_source(
     disable: Iterable[str] = (),
     index: ProjectIndex | None = None,
     dimensional: bool = False,
+    concurrency: bool = False,
 ) -> LintResult:
     """Lint one in-memory module (test fixtures, tooling).
 
@@ -205,7 +301,8 @@ def lint_source(
     memoization facts are collected, but the wider package is not
     consulted. ``dimensional=True`` runs the dimension-inference pass
     over the snippet alone (cross-module facts still resolve through
-    the :mod:`repro.units` seed table).
+    the :mod:`repro.units` seed table); ``concurrency=True`` does the
+    same for the concurrency-safety pass.
     """
     disabled = validate_disable(disable)
     try:
@@ -220,11 +317,20 @@ def lint_source(
     if index is None:
         index = build_index([module])
     extra: dict[str, list[Finding]] | None = None
+    passes: tuple[str, ...] = ("base",)
     if dimensional:
         from repro.analysis.dimensional import analyze_dimensions
 
-        extra = analyze_dimensions([module], [module])
-    return _lint_modules([module], [], disabled, index, extra)
+        extra = _merge_extra(extra, analyze_dimensions([module], [module]))
+        passes = passes + ("dimensional",)
+    if concurrency:
+        from repro.analysis.concurrency import analyze_concurrency
+
+        extra = _merge_extra(
+            extra, analyze_concurrency([module], [module], disabled),
+        )
+        passes = passes + ("concurrency",)
+    return _lint_modules([module], [], disabled, index, extra, passes)
 
 
 def format_text(result: LintResult) -> str:
@@ -250,6 +356,7 @@ def format_json(result: LintResult) -> str:
         by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
     payload = {
         "version": JSON_SCHEMA_VERSION,
+        "passes": list(result.passes),
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
         "counts": dict(sorted(by_rule.items())),

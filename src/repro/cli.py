@@ -310,13 +310,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import format_json, format_text, lint_paths
 
+    dimensional = args.dimensional or args.all
+    concurrency = args.concurrency or args.all
     try:
         result = lint_paths(
             args.paths, disable=args.disable,
-            dimensional=args.dimensional,
+            dimensional=dimensional,
+            concurrency=concurrency,
         )
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc)) from exc
+        # Usage errors (bad path, unknown rule id) exit 2; findings
+        # exit 1; a clean run exits 0.
+        print(f"mcpat-repro lint: {exc}", file=sys.stderr)
+        return 2
     if args.format == "json":
         print(format_json(result))
     else:
@@ -486,6 +492,16 @@ def main(argv: list[str] | None = None) -> int:
         "--dimensional", action="store_true",
         help="also run the interprocedural physical-dimension inference "
              "pass (DIM001-DIM004)",
+    )
+    lint.add_argument(
+        "--concurrency", action="store_true",
+        help="also run the whole-program concurrency-safety pass "
+             "(CONC001-CONC004: races, blocking-in-async, fork safety)",
+    )
+    lint.add_argument(
+        "--all", action="store_true",
+        help="run every analysis pass (base + --dimensional + "
+             "--concurrency) with one merged report",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -161,10 +161,14 @@ class EvalCache:
         self.path = Path(path) if path is not None else None
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+        # _evict_locked mutates these with the lock already held by its
+        # callers (or from __init__, before the instance escapes).
+        self.evictions = 0  # repro: guarded-by[_lock]
         self.corrupt_lines_skipped = 0
         self._lock = threading.Lock()
-        self._records: OrderedDict[str, EvalRecord] = OrderedDict()
+        self._records: OrderedDict[str, EvalRecord] = (  # repro: guarded-by[_lock]
+            OrderedDict()
+        )
         if self.path is not None and self.path.exists():
             self._load()
 

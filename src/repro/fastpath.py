@@ -30,6 +30,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, TypeVar, cast
@@ -70,6 +72,12 @@ def disabled() -> Iterator[None]:
 class Memo:
     """A bounded process-wide LRU memo table.
 
+    Thread-safe: the serve tier calls memoized code from executor
+    threads, so lookup/insert/evict and the counters are serialized by a
+    per-memo lock. The compute callback runs *outside* the lock — two
+    threads missing the same key may both compute (pure functions, same
+    value) rather than one blocking the other's unrelated lookups.
+
     Args:
         name: Label used in :func:`stats` output.
         max_entries: Capacity; least-recently-used entries are evicted.
@@ -89,6 +97,7 @@ class Memo:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
         _REGISTRY.append(self)
 
     def get_or_compute(self, key: Any, compute: Callable[[], T]) -> T:
@@ -99,40 +108,49 @@ class Memo:
         """
         if not _enabled:
             return compute()
-        try:
-            value = self._entries[key]
-        except KeyError:
-            pass
-        else:
+        with self._lock:
             try:
-                self._entries.move_to_end(key)
+                value = self._entries[key]
             except KeyError:
-                # Lost a race with a concurrent eviction (the serve tier
-                # calls memoized code from worker threads); the value is
-                # already in hand, so it is still a hit.
-                pass
-            self.hits += 1
-            return cast(T, value)
-        self.misses += 1
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cast(T, value)
         value = compute()
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            try:
+        with self._lock:
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
-            except KeyError:  # concurrent evictor emptied the table
-                break
-            self.evictions += 1
+                self.evictions += 1
         return value
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def _reinit_after_fork() -> None:
+    """Replace every memo's lock in a freshly forked child.
+
+    A fork can land while another thread in the parent holds a memo
+    lock; the child would inherit it locked forever (the owning thread
+    does not exist there). Same pattern the stdlib ``logging`` module
+    uses for its handler locks.
+    """
+    for memo in _REGISTRY:
+        memo._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 def clear_all() -> None:

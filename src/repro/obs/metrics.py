@@ -23,14 +23,43 @@ deltas back to the parent at join (see :mod:`repro.engine.pool`).
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.obs import runtime
 
+#: Serializes every registry mutation and snapshot copy. The serve tier
+#: updates metrics from the event loop, executor threads, and pool
+#: joins at once; without this, concurrent ``counter_add`` read-modify-
+#: writes lose updates. Held only for dict ops — never while running
+#: collectors or user code.
+_LOCK = threading.Lock()
 
-class _HistogramState:
-    """Mutable count/sum/min/max accumulator for one histogram."""
+
+def _reinit_after_fork() -> None:
+    """Give a forked child a fresh registry lock.
+
+    A fork can land while another parent thread holds ``_LOCK``; the
+    child would inherit it locked with no owner to release it. Same
+    pattern the stdlib ``logging`` module uses for its handler locks.
+    """
+    global _LOCK
+    _LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+class _HistogramState:  # repro: guarded-by[_LOCK]
+    """Mutable count/sum/min/max accumulator for one histogram.
+
+    Instances live in the module-level ``_HISTOGRAMS`` registry; every
+    call site mutates or reads them under ``_LOCK`` (declared via the
+    class-level guarded-by annotation above).
+    """
 
     __slots__ = ("count", "total", "minimum", "maximum")
 
@@ -71,24 +100,27 @@ def counter_add(name: str, value: float = 1.0) -> None:
     """Increment a counter (no-op while instrumentation is off)."""
     if not runtime.ACTIVE:
         return
-    _COUNTERS[name] = _COUNTERS.get(name, 0.0) + value
+    with _LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0.0) + value
 
 
 def gauge_set(name: str, value: float) -> None:
     """Record a level sample (no-op while instrumentation is off)."""
     if not runtime.ACTIVE:
         return
-    _GAUGES[name] = value
+    with _LOCK:
+        _GAUGES[name] = value
 
 
 def observe(name: str, value: float) -> None:
     """Add one observation to a histogram (no-op while off)."""
     if not runtime.ACTIVE:
         return
-    state = _HISTOGRAMS.get(name)
-    if state is None:
-        state = _HISTOGRAMS[name] = _HistogramState()
-    state.observe(value)
+    with _LOCK:
+        state = _HISTOGRAMS.get(name)
+        if state is None:
+            state = _HISTOGRAMS[name] = _HistogramState()
+        state.observe(value)
 
 
 def register_collector(
@@ -104,9 +136,10 @@ def register_collector(
 
 def reset() -> None:
     """Drop all recorded values; registered collectors are kept."""
-    _COUNTERS.clear()
-    _GAUGES.clear()
-    _HISTOGRAMS.clear()
+    with _LOCK:
+        _COUNTERS.clear()
+        _GAUGES.clear()
+        _HISTOGRAMS.clear()
 
 
 @dataclass(frozen=True)
@@ -155,7 +188,13 @@ def snapshot(
     instrumentation is active — collectors read counters their owners
     maintain anyway, so a snapshot is always meaningful.
     """
-    counters = dict(_COUNTERS)
+    with _LOCK:
+        counters = dict(_COUNTERS)
+        gauges = dict(_GAUGES)
+        histograms = {k: v.to_dict() for k, v in _HISTOGRAMS.items()}
+    # Collectors run outside the lock: they take their owners' locks
+    # (e.g. each Memo's), and nesting those under _LOCK would pin a
+    # lock order on third parties for no benefit.
     for collect in _COLLECTORS.values():
         for name, value in collect().items():
             counters[name] = counters.get(name, 0.0) + value
@@ -164,18 +203,19 @@ def snapshot(
             counters[name] = counters.get(name, 0.0) + value
     return MetricsSnapshot(
         counters=counters,
-        gauges=dict(_GAUGES),
-        histograms={k: v.to_dict() for k, v in _HISTOGRAMS.items()},
+        gauges=gauges,
+        histograms=histograms,
     )
 
 
 def export_state() -> MetricsSnapshot:
     """The raw registry (no collectors) — what a worker ships back."""
-    return MetricsSnapshot(
-        counters=dict(_COUNTERS),
-        gauges=dict(_GAUGES),
-        histograms={k: v.to_dict() for k, v in _HISTOGRAMS.items()},
-    )
+    with _LOCK:
+        return MetricsSnapshot(
+            counters=dict(_COUNTERS),
+            gauges=dict(_GAUGES),
+            histograms={k: v.to_dict() for k, v in _HISTOGRAMS.items()},
+        )
 
 
 def absorb(delta: MetricsSnapshot) -> None:
@@ -184,20 +224,25 @@ def absorb(delta: MetricsSnapshot) -> None:
     Counters add; gauges take the worker's sample; histograms combine
     their summaries.
     """
-    for name, value in delta.counters.items():
-        _COUNTERS[name] = _COUNTERS.get(name, 0.0) + value
-    _GAUGES.update(delta.gauges)
-    for name, summary in delta.histograms.items():
-        state = _HISTOGRAMS.get(name)
-        if state is None:
-            state = _HISTOGRAMS[name] = _HistogramState()
-        count = int(summary.get("count", 0.0))
-        if count <= 0:
-            continue
-        state.count += count
-        state.total += summary.get("sum", 0.0)
-        state.minimum = min(state.minimum, summary.get("min", state.minimum))
-        state.maximum = max(state.maximum, summary.get("max", state.maximum))
+    with _LOCK:
+        for name, value in delta.counters.items():
+            _COUNTERS[name] = _COUNTERS.get(name, 0.0) + value
+        _GAUGES.update(delta.gauges)
+        for name, summary in delta.histograms.items():
+            state = _HISTOGRAMS.get(name)
+            if state is None:
+                state = _HISTOGRAMS[name] = _HistogramState()
+            count = int(summary.get("count", 0.0))
+            if count <= 0:
+                continue
+            state.count += count
+            state.total += summary.get("sum", 0.0)
+            state.minimum = min(
+                state.minimum, summary.get("min", state.minimum)
+            )
+            state.maximum = max(
+                state.maximum, summary.get("max", state.maximum)
+            )
 
 
 def format_metrics_table(snap: MetricsSnapshot) -> str:

@@ -108,6 +108,21 @@ _LOCAL = threading.local()
 _LOCK = threading.Lock()
 
 
+def _reinit_after_fork() -> None:
+    """Give a forked child a fresh span lock.
+
+    A fork can land while another parent thread holds ``_LOCK``; the
+    child would inherit it locked with no owner to release it. Same
+    pattern the stdlib ``logging`` module uses for its handler locks.
+    """
+    global _LOCK
+    _LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def _stack() -> list[int]:
     stack = getattr(_LOCAL, "stack", None)
     if stack is None:

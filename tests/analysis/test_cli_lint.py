@@ -44,14 +44,14 @@ class TestCliLint:
         path = _write(tmp_path, DIRTY)
         assert main(["lint", "--disable", "NUM001", str(path)]) == 0
 
-    def test_unknown_disable_is_an_error(self, tmp_path):
+    def test_unknown_disable_is_an_error(self, tmp_path, capsys):
         path = _write(tmp_path, CLEAN)
-        with pytest.raises(SystemExit):
-            main(["lint", "--disable", "NOPE", str(path)])
+        assert main(["lint", "--disable", "NOPE", str(path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
 
-    def test_missing_path_is_an_error(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["lint", str(tmp_path / "absent.py")])
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent.py")]) == 2
+        assert "mcpat-repro lint:" in capsys.readouterr().err
 
     def test_directory_is_walked(self, tmp_path):
         _write(tmp_path, DIRTY, name="a.py")

@@ -39,7 +39,9 @@ class TestSuppressions:
             def formula(x):
                 return x == 1.0  # repro: noqa[SPEC001]
         """)
-        assert [f.rule for f in result.findings] == ["NUM001"]
+        # NUM001 still fires, and the SPEC001 suppression (which
+        # silences nothing) is itself flagged stale.
+        assert [f.rule for f in result.findings] == ["LINT001", "NUM001"]
         assert result.suppressed == 0
 
     def test_unknown_rule_in_noqa_is_reported(self):
@@ -64,6 +66,65 @@ class TestSuppressions:
         """)
         assert result.ok
         assert result.suppressed == 2
+
+
+class TestNoqaHygiene:
+    """LINT001: suppressions must suppress something an active pass
+    produces."""
+
+    def test_stale_targeted_noqa_is_flagged(self):
+        result = _lint("value = 1  # repro: noqa[NUM001]\n")
+        (finding,) = result.findings
+        assert finding.rule == "LINT001"
+        assert "NUM001" in finding.message
+        assert "silences no" in finding.message
+
+    def test_live_noqa_is_not_flagged(self):
+        assert _lint(FLOAT_EQ).ok
+
+    def test_rules_of_passes_that_did_not_run_are_left_alone(self):
+        # A CONC001 suppression cannot be judged stale by a base-only
+        # run: the concurrency pass never looked.
+        result = _lint("value = 1  # repro: noqa[CONC001]\n")
+        assert result.ok
+
+    def test_rules_of_passes_that_ran_are_judged(self):
+        result = _lint(
+            "value = 1  # repro: noqa[CONC001]\n", concurrency=True,
+        )
+        (finding,) = result.findings
+        assert finding.rule == "LINT001"
+
+    def test_blanket_noqa_needs_the_full_run_to_be_stale(self):
+        # A blanket comment waives every rule, so only a run with all
+        # passes active can prove it dead.
+        source = "value = 1  # repro: noqa\n"
+        assert _lint(source).ok
+        result = _lint(source, dimensional=True, concurrency=True)
+        (finding,) = result.findings
+        assert finding.rule == "LINT001"
+        assert "blanket" in finding.message
+
+    def test_lint001_suppression_is_never_stale(self):
+        # Waiving the hygiene check is always explicit, never "unused".
+        result = _lint(
+            "value = 1  # repro: noqa[LINT001]\n",
+            dimensional=True, concurrency=True,
+        )
+        assert result.ok
+
+    def test_lint001_finding_can_be_suppressed(self):
+        result = _lint(
+            "value = 1  # repro: noqa[NUM001, LINT001]\n"
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_disable_lint001(self):
+        result = _lint(
+            "value = 1  # repro: noqa[NUM001]\n", disable=["LINT001"],
+        )
+        assert result.ok
 
 
 class TestDisable:
@@ -96,7 +157,8 @@ class TestOutputFormats:
     def test_json_schema(self):
         result = _lint("x = 1.0 == 1.0\n")
         payload = json.loads(format_json(result))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
+        assert payload["passes"] == ["base"]
         assert payload["files_checked"] == 1
         assert payload["suppressed"] == 0
         assert payload["counts"] == {"NUM001": 1}

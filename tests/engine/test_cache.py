@@ -226,3 +226,46 @@ class TestEvalRecord:
 
     def test_from_cache_excluded_from_equality(self):
         assert dataclasses.replace(record(), from_cache=True) == record()
+
+
+class TestEvalCacheThreadSafety:
+    def test_concurrent_writers_keep_log_and_counters_exact(self, tmp_path):
+        """Threads racing put/get: whole JSONL lines, exact accounting."""
+        from repro.engine.cache import EvalCache
+
+        log = tmp_path / "cache.jsonl"
+        cache = EvalCache(max_entries=16, path=log)
+        n_threads, per_thread = 8, 40
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                key = f"{tid}-{i}"
+                cache.put(key, record(key=key))
+                cache.get(key)
+
+        threads = [
+            threading.Thread(target=work, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * per_thread
+        # Every key was new, so every put appended one whole line; the
+        # O_APPEND single-write protocol must never splice lines.
+        lines = log.read_text().splitlines()
+        assert len(lines) == total
+        for line in lines:
+            entry = json.loads(line)
+            assert set(entry) == {"key", "record"}
+        # A fresh load sees zero corruption and every record.
+        reloaded = EvalCache(max_entries=2 * total, path=log)
+        assert reloaded.corrupt_lines_skipped == 0
+        assert len(reloaded) == total
+        # Each get incremented exactly one counter.
+        assert cache.hits + cache.misses == total
+        assert len(cache) <= 16

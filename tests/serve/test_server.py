@@ -369,3 +369,67 @@ class TestAdmissionControl:
             metrics = client.metrics()
         assert metrics["counters"]["serve.timeouts"] >= 1.0
         assert metrics["counters"]["serve.responses.504"] >= 1.0
+
+
+class TestKeepAliveRobustness:
+    """A poisoned keep-alive connection must not wedge the server."""
+
+    @staticmethod
+    def _recv_response(sock, leftover=b""):
+        """Read one HTTP response; returns (status, remaining bytes)."""
+        data = leftover
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        status = int(head.split(b"\r\n", 1)[0].split()[1])
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value)
+        while len(rest) < length:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            rest += chunk
+        return status, rest[length:]
+
+    def test_malformed_second_request_gets_400_and_clean_close(self):
+        import json as _json
+        import socket
+
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30,
+            )
+            try:
+                # A real evaluation first, so an admission slot cycles
+                # through this very connection.
+                body = _json.dumps(
+                    {"config": tiny_dict(name="keepalive-case"),
+                     "report": False},
+                ).encode()
+                sock.sendall(
+                    b"POST /evaluate HTTP/1.1\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                status, rest = self._recv_response(sock)
+                assert status == 200
+                # Then garbage on the same keep-alive connection.
+                sock.sendall(b"TOTAL GARBAGE\r\n\r\n")
+                status, rest = self._recv_response(sock, rest)
+                assert status == 400
+                # The server closes its side: EOF, not a hang.
+                assert sock.recv(4096) == b""
+            finally:
+                sock.close()
+            # The listener stays healthy and the slot was returned.
+            health = server.client().healthz()
+            assert health["status"] == "ok"
+            assert health["active_requests"] == 0
+            assert health["queued_requests"] == 0

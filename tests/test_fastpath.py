@@ -1,6 +1,7 @@
 """Unit tests for the fast-path memo substrate."""
 
 import dataclasses
+import threading
 
 import pytest
 
@@ -75,6 +76,50 @@ class TestDisabledContext:
             "hits": 0, "misses": 1, "evictions": 0, "entries": 1}
         fastpath.clear_all()
         assert fastpath.stats()["t-stats"]["entries"] == 0
+
+
+class TestMemoThreadSafety:
+    def test_threaded_eviction_pressure(self):
+        """N threads, shared keys, capacity far below the key space."""
+        memo = fastpath.Memo("t-threads", max_entries=8)
+        n_threads, n_calls = 8, 400
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(n_calls):
+                key = (tid * 7 + i) % 32
+                value = memo.get_or_compute(key, lambda k=key: k * 3)
+                if value != key * 3:
+                    errors.append((tid, key, value))
+
+        threads = [
+            threading.Thread(target=work, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(memo) <= 8
+        # Every call increments exactly one of the two counters, even
+        # under eviction pressure.
+        assert memo.hits + memo.misses == n_threads * n_calls
+
+    def test_after_fork_reinit_replaces_held_locks(self):
+        """The at-fork hook swaps a (possibly held) lock for a fresh one."""
+        memo = fastpath.Memo("t-fork")
+        stale = memo._lock
+        stale.acquire()
+        try:
+            fastpath._reinit_after_fork()
+            assert memo._lock is not stale
+            assert memo._lock.acquire(blocking=False)
+            memo._lock.release()
+        finally:
+            stale.release()
 
 
 @dataclasses.dataclass(frozen=True)
