@@ -144,9 +144,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=100,
                         help="warm requests per client per ramp step "
                              "(default 100)")
-    parser.add_argument("--output", default="BENCH_serve.json",
-                        metavar="PATH", help="result JSON path")
+    parser.add_argument("--output", default=None,
+                        metavar="PATH",
+                        help="result JSON path (default BENCH_serve.json; "
+                             "smoke runs write BENCH_serve.smoke.json so "
+                             "they never clobber a committed full-run "
+                             "payload)")
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = ("BENCH_serve.smoke.json" if args.smoke
+                       else "BENCH_serve.json")
 
     n_configs = 4 if args.smoke else args.configs
     per_client = 25 if args.smoke else args.requests

@@ -127,9 +127,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run: one preset, relaxed floor")
-    parser.add_argument("--output", default="BENCH_single_eval.json",
-                        metavar="PATH", help="result JSON path")
+    parser.add_argument("--output", default=None,
+                        metavar="PATH",
+                        help="result JSON path (default "
+                             "BENCH_single_eval.json; smoke runs write "
+                             "BENCH_single_eval.smoke.json so they never "
+                             "clobber a committed full-run payload)")
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = ("BENCH_single_eval.smoke.json" if args.smoke
+                       else "BENCH_single_eval.json")
 
     names = (("niagara1",) if args.smoke
              else tuple(presets.VALIDATION_PRESETS))

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Benchmark + calibration gate for the learned surrogate tier.
+
+Trains a fresh model from the exact engine (no cached state), then for
+every validation preset:
+
+1. **calibration** — re-verifies the model's *declared* relative error
+   bound on a fresh held-out grid, strictly interior to the training
+   box and disjoint from every training value. Both the 95th-percentile
+   and the worst observed error must stay within the declared bound.
+2. **latency** — times ``SurrogateModel.predict`` on an in-domain
+   operating point; the p50 must beat the O(µs) budget.
+3. **speedup** — the exact analytic evaluation of the same point over
+   the surrogate p50 (this is the number the tier exists for).
+4. **fallback policy** — drives the runtime tier over in-domain and
+   out-of-domain points and records the hit/fallback counters, so the
+   payload documents the policy actually enforced.
+
+The worst per-preset speedup lands top-level as ``speedup`` next to
+``speedup_floor``, the shape ``benchmarks/bench_trend.py`` gates on.
+
+Run::
+
+    python benchmarks/bench_surrogate.py            # all four presets
+    python benchmarks/bench_surrogate.py --smoke    # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import surrogate
+from repro.config import presets
+from repro.engine.record import evaluate_config
+from repro.surrogate import tier as tier_mod
+
+#: p50 predict latency budget per point, microseconds.
+LATENCY_BUDGET_US = 50.0
+
+#: Required exact-vs-surrogate per-point speedup. Smoke mode relaxes it
+#: for noisy shared CI runners.
+SPEEDUP_FLOOR = 50.0
+SPEEDUP_FLOOR_SMOKE = 20.0
+
+#: predict() calls per latency sample and samples per preset; the p50
+#: over samples absorbs scheduler noise.
+_CALLS_PER_SAMPLE = 20
+_SAMPLES = 50
+
+
+def _heldout_point(base):
+    """One in-domain operating point no training grid ever contained."""
+    axes = surrogate.heldout_axes(base)
+    return dataclasses.replace(
+        base,
+        clock_hz=axes["clock_hz"][0],
+        temperature_k=axes["temperature_k"][0],
+        vdd_v=axes["vdd_v"][0],
+    )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def bench_latency(model, config) -> dict:
+    """p50/p95 of ``model.predict`` on one in-domain config."""
+    prediction = model.predict(config)
+    if not prediction.in_domain:
+        raise SystemExit(
+            f"latency config for {config.name!r} is out of domain; "
+            f"the training grid and held-out grid disagree"
+        )
+    samples = []
+    for _ in range(_SAMPLES):
+        start = time.perf_counter()
+        for _ in range(_CALLS_PER_SAMPLE):
+            model.predict(config)
+        samples.append(
+            (time.perf_counter() - start) / _CALLS_PER_SAMPLE
+        )
+    samples.sort()
+    return {
+        "p50_us": _percentile(samples, 0.50) * 1e6,
+        "p95_us": _percentile(samples, 0.95) * 1e6,
+        "calls": _SAMPLES * _CALLS_PER_SAMPLE,
+    }
+
+
+def bench_exact_point(config) -> float:
+    """Best-of-3 exact evaluation time of one config, seconds."""
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        evaluate_config(config)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_fallback_policy(model, base) -> dict:
+    """Drive the runtime tier; return its counter snapshot."""
+    tier_mod.reset_counters()
+    tier = surrogate.SurrogateTier(model)
+    in_domain = _heldout_point(base)
+    out_of_domain = dataclasses.replace(
+        base, clock_hz=base.clock_hz * 4.0,
+    )
+    for _ in range(8):
+        if tier.try_predict(in_domain) is None:
+            raise SystemExit(
+                f"{base.name!r}: in-domain point was refused by the tier"
+            )
+    for _ in range(2):
+        if tier.try_predict(out_of_domain) is not None:
+            raise SystemExit(
+                f"{base.name!r}: out-of-domain point was answered"
+            )
+    # A tolerance tighter than the declared bound must also fall back.
+    if tier.try_predict(in_domain, rel_tol=1e-12) is not None:
+        raise SystemExit(
+            f"{base.name!r}: tier ignored the caller's rel_tol"
+        )
+    counters = tier_mod.counters()
+    tier_mod.reset_counters()
+    return counters
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="surrogate-tier latency + calibration benchmark",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: one preset, relaxed floor")
+    parser.add_argument("--output", default=None,
+                        metavar="PATH",
+                        help="result JSON path (default "
+                             "BENCH_surrogate.json; smoke runs write "
+                             "BENCH_surrogate.smoke.json so they never "
+                             "clobber a committed full-run payload)")
+    parser.add_argument("--model-output", default=None, metavar="PATH",
+                        help="also save the freshly trained artifact")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = ("BENCH_surrogate.smoke.json" if args.smoke
+                       else "BENCH_surrogate.json")
+
+    names = (("niagara1",) if args.smoke
+             else tuple(presets.VALIDATION_PRESETS))
+    floor = SPEEDUP_FLOOR_SMOKE if args.smoke else SPEEDUP_FLOOR
+    bases = [presets.VALIDATION_PRESETS[name]() for name in names]
+
+    start = time.perf_counter()
+    model = surrogate.train(bases, cache=None)
+    train_s = time.perf_counter() - start
+    print(f"trained {len(model.segments)} segment(s) in {train_s:.1f}s")
+    if args.model_output is not None:
+        model.save(args.model_output)
+        print(f"saved artifact to {args.model_output}")
+
+    results = []
+    failed = False
+    for name, base in zip(names, bases):
+        check = surrogate.check_calibration(model, base)
+        latency = bench_latency(model, _heldout_point(base))
+        exact_s = bench_exact_point(_heldout_point(base))
+        speedup = exact_s / (latency["p50_us"] * 1e-6)
+        policy = bench_fallback_policy(model, base)
+        entry = {
+            "preset": name,
+            "calibration": check.to_dict(),
+            "latency": latency,
+            "exact_point_s": exact_s,
+            "speedup": speedup,
+            "fallback_policy": policy,
+        }
+        results.append(entry)
+        print(f"{name:<12} bound={check.bound:7.4f} "
+              f"q95={check.q95_rel_err:.2e} max={check.worst_rel_err:.2e} "
+              f"p50={latency['p50_us']:5.1f}us "
+              f"exact={exact_s * 1e3:6.1f}ms speedup={speedup:8.0f}x")
+        if not check.ok:
+            print(f"FAIL: {name} held-out error exceeds the declared "
+                  f"bound (max {check.worst_rel_err:.3e} vs "
+                  f"{check.bound:.3e}) or points fell out of domain "
+                  f"({check.in_domain}/{check.n_points})",
+                  file=sys.stderr)
+            failed = True
+        if check.q95_rel_err > check.bound:
+            print(f"FAIL: {name} 95p held-out error "
+                  f"{check.q95_rel_err:.3e} exceeds the declared bound "
+                  f"{check.bound:.3e}", file=sys.stderr)
+            failed = True
+        if latency["p50_us"] >= LATENCY_BUDGET_US:
+            print(f"FAIL: {name} p50 predict latency "
+                  f"{latency['p50_us']:.1f}us exceeds the "
+                  f"{LATENCY_BUDGET_US:.0f}us budget", file=sys.stderr)
+            failed = True
+        if speedup < floor:
+            print(f"FAIL: {name} speedup {speedup:.0f}x below "
+                  f"{floor:.0f}x floor", file=sys.stderr)
+            failed = True
+
+    payload = {
+        "benchmark": "surrogate",
+        "smoke": args.smoke,
+        "speedup": min(entry["speedup"] for entry in results),
+        "speedup_floor": floor,
+        "latency_budget_us": LATENCY_BUDGET_US,
+        "train_s": train_s,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "presets": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failed:
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

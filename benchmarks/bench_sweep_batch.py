@@ -101,9 +101,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--smoke", action="store_true",
                         help="small grid + relaxed floor for CI")
-    parser.add_argument("--output", default="BENCH_sweep_batch.json",
-                        metavar="PATH", help="payload destination")
+    parser.add_argument("--output", default=None,
+                        metavar="PATH",
+                        help="payload destination (default "
+                             "BENCH_sweep_batch.json; smoke runs write "
+                             "BENCH_sweep_batch.smoke.json so they never "
+                             "clobber a committed full-run payload)")
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = ("BENCH_sweep_batch.smoke.json" if args.smoke
+                       else "BENCH_sweep_batch.json")
 
     if not batch.have_numpy():
         raise SystemExit(

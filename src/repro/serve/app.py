@@ -21,7 +21,10 @@ Endpoints::
     GET  /healthz          liveness + queue occupancy
     GET  /metrics          metrics-registry snapshot (cache hit rates,
                            memo counters, serve request counters)
-    POST /evaluate         one config -> EvalRecord (+ report text)
+    POST /evaluate         one config -> EvalRecord (+ report text);
+                           {"exact": false, "rel_tol": 0.02} admits the
+                           learned surrogate tier (X-Eval-Tier response
+                           header says which tier answered)
     POST /sweep            SweepSpec grid -> batched results; with
                            {"async": true} returns a job id instead;
                            {"backend": "numpy"|"auto"} opts into the
@@ -148,14 +151,21 @@ class EvalServer:
         cache: Shared result cache; built from ``config`` when omitted.
             Pass one explicitly to share a cache with in-process callers
             (tests, the load benchmark).
+        surrogate: The :class:`~repro.surrogate.tier.SurrogateTier`
+            consulted by ``{"exact": false}`` requests. ``None`` (the
+            default) uses the process-wide tier over the packaged model
+            artifact; pass one explicitly to serve a custom model
+            (tests, freshly trained artifacts).
     """
 
     def __init__(
         self,
         config: ServeConfig | None = None,
         cache: EvalCache | None = None,
+        surrogate: "object | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
+        self._surrogate = surrogate
         self.cache = cache if cache is not None else EvalCache(
             max_entries=self.config.cache_entries,
             path=self.config.cache_path,
@@ -262,7 +272,9 @@ class EvalServer:
             trace_id=trace_id, method=request.method, path=request.path,
         ):
             try:
-                status, payload = await self._route(request, trace_id)
+                status, payload, extra_headers = await self._route(
+                    request, trace_id,
+                )
                 body = encode_json(payload)
             except HttpError as exc:
                 status = exc.status
@@ -291,23 +303,27 @@ class EvalServer:
 
     async def _route(
         self, request: HttpRequest, trace_id: str,
-    ) -> tuple[int, Any]:
+    ) -> tuple[int, Any, tuple[tuple[str, str], ...]]:
         method, path = request.method, request.path
         if path == "/healthz":
             self._require(method, "GET", path)
-            return 200, self._healthz_payload()
+            return 200, self._healthz_payload(), ()
         if path == "/metrics":
             self._require(method, "GET", path)
-            return 200, self.metrics_payload()
+            return 200, self.metrics_payload(), ()
         if path == "/evaluate":
             self._require(method, "POST", path)
-            return 200, await self._handle_evaluate(request, trace_id)
+            payload, headers = await self._handle_evaluate(
+                request, trace_id,
+            )
+            return 200, payload, headers
         if path == "/sweep":
             self._require(method, "POST", path)
-            return await self._handle_sweep(request, trace_id)
+            status, payload = await self._handle_sweep(request, trace_id)
+            return status, payload, ()
         if path.startswith("/jobs/"):
             self._require(method, "GET", path)
-            return 200, self._handle_job(path[len("/jobs/"):])
+            return 200, self._handle_job(path[len("/jobs/"):]), ()
         raise HttpError(404, f"unknown path {path!r}")
 
     @staticmethod
@@ -440,20 +456,38 @@ class EvalServer:
         payload["queued_requests"] = self._waiting
         return payload
 
+    def _tier(self) -> "object | None":
+        if self._surrogate is not None:
+            return self._surrogate
+        from repro.surrogate.tier import default_tier
+
+        return default_tier()
+
     def _evaluate_work(
         self,
         config: SystemConfig,
         workload: Workload | None,
         want_report: bool,
         depth: int,
+        exact: bool,
+        rel_tol: float | None,
         parent_span_id: int | None,
-    ) -> tuple[EvalRecord, str | None]:
+    ) -> tuple[EvalRecord, str | None, float | None]:
         """Executor-side body of one ``/evaluate`` request."""
         with obs.attach(parent_span_id):
+            tier = self._tier() if not exact else None
             record = evaluate_many(
                 [config], workload=workload,
                 jobs=1, cache=self.cache,
+                exact=exact, rel_tol=rel_tol, surrogate=tier,
             )[0]
+            rel_err_bound = None
+            if record.backend == "surrogate" and tier is not None:
+                # Re-derive the declared bound for the response body;
+                # predict is deterministic and O(µs).
+                prediction = tier.model.predict(config)
+                if prediction.in_domain:
+                    rel_err_bound = prediction.rel_err_bound
             report_text = None
             if want_report:
                 report_text = self._report_memo.get_or_compute(
@@ -462,38 +496,71 @@ class EvalServer:
                         Processor(config), max_depth=depth,
                     ) + "\n",
                 )
-        return record, report_text
+        return record, report_text, rel_err_bound
 
     async def _handle_evaluate(
         self, request: HttpRequest, trace_id: str,
-    ) -> dict[str, Any]:
+    ) -> tuple[dict[str, Any], tuple[tuple[str, str], ...]]:
         payload = request.json()
         if not isinstance(payload, Mapping):
             raise HttpError(400, "request body must be a JSON object")
         config = self._parse_config(payload)
         workload = self._parse_workload(payload)
-        want_report = bool(payload.get("report", True))
+        exact = payload.get("exact", True)
+        if not isinstance(exact, bool):
+            raise HttpError(400, "'exact' must be a boolean")
+        rel_tol = payload.get("rel_tol")
+        if rel_tol is not None:
+            if exact:
+                raise HttpError(
+                    400, "'rel_tol' only applies to approximate "
+                         "evaluation; pass \"exact\": false",
+                )
+            if (
+                isinstance(rel_tol, bool)
+                or not isinstance(rel_tol, (int, float))
+                or not rel_tol > 0
+            ):
+                raise HttpError(400, "'rel_tol' must be a positive number")
+            rel_tol = float(rel_tol)
+        raw_report = payload.get("report")
+        want_report = exact if raw_report is None else bool(raw_report)
+        if want_report and not exact:
+            raise HttpError(
+                400, "'report' requires exact evaluation: rendering the "
+                     "component tree runs the full analytic model, which "
+                     "defeats the surrogate tier",
+            )
         depth = payload.get("depth", self.config.default_depth)
         if not isinstance(depth, int) or depth < 0:
             raise HttpError(400, "'depth' must be a non-negative integer")
         parent_span_id = obs.current_span_id()
         try:
-            record, report_text = await self._admitted(
+            record, report_text, rel_err_bound = await self._admitted(
                 lambda: self._evaluate_work(
-                    config, workload, want_report, depth, parent_span_id,
+                    config, workload, want_report, depth,
+                    exact, rel_tol, parent_span_id,
                 ),
             )
         except ValueError as exc:
             raise HttpError(400, str(exc)) from exc
         self._count("serve.evaluations")
+        tier_name = (
+            "surrogate" if record.backend == "surrogate" else "exact"
+        )
+        if tier_name == "surrogate":
+            self._count("serve.evaluations_surrogate")
         response: dict[str, Any] = {
             "trace_id": trace_id,
             "record": record.to_dict(),
             "from_cache": record.from_cache,
+            "tier": tier_name,
         }
+        if rel_err_bound is not None:
+            response["rel_err_bound"] = rel_err_bound
         if report_text is not None:
             response["report_text"] = report_text
-        return response
+        return response, (("X-Eval-Tier", tier_name),)
 
     def _sweep_work(
         self,

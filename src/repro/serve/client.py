@@ -89,6 +89,10 @@ class ServeClient:
             raw = response.read()
             status = response.status
             retry_after_raw = response.getheader("Retry-After")
+            response_headers = {
+                name.lower(): value
+                for name, value in response.getheaders()
+            }
         finally:
             connection.close()
         try:
@@ -110,6 +114,7 @@ class ServeClient:
         if not isinstance(decoded, dict):
             raise ServeError(status, f"non-object response: {decoded!r}")
         decoded["_status"] = status
+        decoded["_headers"] = response_headers
         return decoded
 
     # -- endpoints -------------------------------------------------------
@@ -127,8 +132,10 @@ class ServeClient:
         preset: str | None = None,
         config: Mapping[str, Any] | None = None,
         workload: str | None = None,
-        report: bool = True,
+        report: bool | None = None,
         depth: int | None = None,
+        exact: bool = True,
+        rel_tol: float | None = None,
         trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Evaluate one architecture config (``POST /evaluate``).
@@ -138,11 +145,25 @@ class ServeClient:
             config: Inline config dict (exclusive with ``preset``), in
                 :func:`repro.config.loader.system_config_to_dict` form.
             workload: Optional SPLASH-2 profile name for runtime metrics.
-            report: Include the McPAT-style ``report_text`` breakdown.
+            report: Include the McPAT-style ``report_text`` breakdown
+                (server default: yes for exact requests, no for
+                approximate ones — reports require the full model).
             depth: Report-tree depth (server default when None).
+            exact: ``False`` admits the server's learned surrogate tier;
+                the response's ``tier`` field (and the ``X-Eval-Tier``
+                header, see ``_headers``) says which tier answered, and
+                surrogate answers carry ``rel_err_bound``.
+            rel_tol: Relative error tolerance for ``exact=False`` — the
+                surrogate only answers when its declared bound fits.
             trace_id: Propagate a caller-chosen trace id.
         """
-        payload: dict[str, Any] = {"report": report}
+        payload: dict[str, Any] = {}
+        if report is not None:
+            payload["report"] = report
+        if not exact:
+            payload["exact"] = False
+        if rel_tol is not None:
+            payload["rel_tol"] = rel_tol
         if preset is not None:
             payload["preset"] = preset
         if config is not None:

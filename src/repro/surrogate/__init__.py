@@ -1,0 +1,90 @@
+"""Learned surrogate tier: O(µs) approximate evaluation with bounds.
+
+McPAT's analytic models are the exact oracle; this package is the fast
+tier in front of them, after the NeuroScalar shape — a lightweight
+learned predictor backed by the slow exact model as ground truth, where
+**every prediction carries a quantified error bound** and calibration
+is continuously re-checked against the oracle.
+
+* :mod:`~repro.surrogate.features` — deterministic config -> feature
+  vector encoding (versioned schema hash).
+* :mod:`~repro.surrogate.train` — ridge regression in log space over
+  sweep-generated exact datasets, k-fold CV residuals baked into the
+  saved model.
+* :mod:`~repro.surrogate.model` — the versioned JSON artifact:
+  coefficients, training-domain boxes, residual quantiles;
+  ``predict(config) -> Prediction(metrics, rel_err_bound, in_domain)``.
+* :mod:`~repro.surrogate.tier` — the runtime policy: answer from the
+  surrogate when in-domain and within tolerance, else transparently
+  fall back to the analytic engine (feeding the miss back as a
+  training sample).
+
+Wired through the stack as ``evaluate_many(..., exact=False,
+rel_tol=...)``, serve's ``POST /evaluate {"exact": false}`` (with an
+``X-Eval-Tier`` response header), a ``surrogate.*`` obs collector, and
+``mcpat-repro surrogate train/check``.
+
+Like :mod:`repro.batch`, everything degrades gracefully: numpy is
+optional (pure-Python normal equations otherwise), and a missing model
+artifact simply routes every request to the exact engine.
+"""
+
+from __future__ import annotations
+
+from repro.surrogate.features import (
+    FEATURE_SCHEMA_VERSION,
+    FeatureVector,
+    extract,
+)
+from repro.surrogate.model import (
+    MODEL_SCHEMA_VERSION,
+    OUT_OF_DOMAIN,
+    Prediction,
+    Segment,
+    SurrogateModel,
+    TARGET_METRICS,
+    TargetFit,
+)
+from repro.surrogate.tier import (
+    DEFAULT_MODEL_RESOURCE,
+    SurrogateTier,
+    counters,
+    default_tier,
+    reset_counters,
+    set_default_tier,
+)
+from repro.surrogate.train import (
+    CalibrationCheck,
+    build_dataset,
+    check_calibration,
+    default_axes,
+    heldout_axes,
+    train,
+    train_segment,
+)
+
+__all__ = [
+    "CalibrationCheck",
+    "DEFAULT_MODEL_RESOURCE",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureVector",
+    "MODEL_SCHEMA_VERSION",
+    "OUT_OF_DOMAIN",
+    "Prediction",
+    "Segment",
+    "SurrogateModel",
+    "SurrogateTier",
+    "TARGET_METRICS",
+    "TargetFit",
+    "build_dataset",
+    "check_calibration",
+    "counters",
+    "default_axes",
+    "default_tier",
+    "extract",
+    "heldout_axes",
+    "reset_counters",
+    "set_default_tier",
+    "train",
+    "train_segment",
+]

@@ -1,0 +1,264 @@
+"""Deterministic config -> feature-vector encoding for the surrogate.
+
+A :class:`~repro.config.schema.SystemConfig` flattens into a fixed,
+sorted tuple of named scalar features. Only the operating-point fields
+the training grids sweep (clock, temperature, supply voltage) get
+physical transforms — they are the ones regression bases interpolate
+over. Every other field only ever participates in *exact-match* domain
+checks (a segment pins them), so any injective encoding works: numerics
+and booleans pass through as floats, enums and strings become stable
+hash buckets, absent optional components (``l2=None``) become a ``-1``
+marker. The encoding is a pure function of config *content* — two
+structurally identical configs always produce identical vectors,
+mirroring :func:`repro.engine.cache.config_key` — and the name tuple is
+digested into a versioned schema hash so a saved model can refuse
+vectors from a different config shape or encoder revision.
+
+The extractor walks dataclasses through a per-type compiled *plan*
+(field order, dotted paths, and transform codes cached per node type)
+instead of round-tripping through ``dataclasses.asdict``: feature
+extraction sits on the surrogate's O(µs) predict path, where a deep
+dict copy — or even an f-string per field — would dominate the budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro import fastpath
+from repro.config.schema import SystemConfig
+from repro.units import MHZ, ROOM_TEMPERATURE_K
+
+#: Bump when the encoding below changes shape or scale: models trained
+#: under another version must not silently consume these vectors.
+FEATURE_SCHEMA_VERSION = 1
+
+#: Feature value marking an absent optional component or field.
+ABSENT = -1.0
+
+#: Field names excluded from the encoding: free-text labels with no
+#: bearing on the modeled physics (two renamed copies of one chip must
+#: map to the same feature vector).
+_SKIP_FIELDS = frozenset({"name"})
+
+_WALK_LOCK = threading.Lock()
+
+#: Transform codes a walk plan assigns per field (see ``_build_plan``).
+_GENERIC = 0
+_CLOCK = 1
+_TEMPERATURE = 2
+_VDD = 3
+
+#: Top-level fields with physical transforms (the swept axes).
+_SPECIAL_CODES = {
+    "clock_hz": _CLOCK,
+    "temperature_k": _TEMPERATURE,
+    "vdd_v": _VDD,
+}
+
+#: Per-(dataclass type, dotted prefix) walk plans: ``(field name,
+#: full path, transform code)`` in sorted field order. Built once per
+#: shape, then replayed on every extraction. Read/written under
+#: ``_WALK_LOCK`` (predict runs on serve executor threads).
+_PLANS: dict[
+    tuple[type, str], tuple[tuple[str, str, int], ...],
+] = {}  # repro: guarded-by[_WALK_LOCK]
+
+#: Stable numeric buckets for enum/string values; append-only memo.
+_STR_BUCKETS: dict[str, float] = {}  # repro: guarded-by[_WALK_LOCK]
+
+#: Schema digests per distinct feature-name tuple; append-only memo.
+_SCHEMA_DIGESTS: dict[tuple[str, ...], str] = {}  # repro: guarded-by[_WALK_LOCK]
+
+#: Nominal supply voltage per (node, device type, temperature) — the
+#: resolution of ``vdd_v=None``, memoized because it constructs a full
+#: Technology object.
+_NOMINAL_VDD = fastpath.Memo("surrogate.nominal_vdd", max_entries=64)
+
+
+def _plan_for(kind: type, prefix: str) -> tuple[tuple[str, str, int], ...]:
+    """One type's walk plan. Caller must hold ``_WALK_LOCK``.
+
+    Extraction takes the lock once per call rather than once per memo
+    probe: a deep config crosses dozens of memoized helpers, and the
+    lock round-trips were a measurable slice of the O(µs) budget.
+    """
+    key = (kind, prefix)
+    plan = _PLANS.get(key)
+    if plan is not None:
+        return plan
+    entries = []
+    for fname in sorted(
+        f.name for f in dataclasses.fields(kind)
+        if f.name not in _SKIP_FIELDS
+    ):
+        code = (
+            _SPECIAL_CODES.get(fname, _GENERIC) if not prefix
+            else _GENERIC
+        )
+        entries.append((fname, f"{prefix}{fname}", code))
+    plan = tuple(entries)
+    _PLANS[key] = plan
+    return plan
+
+
+def _str_bucket(text: str) -> float:
+    """A stable value in [0, 1) for one enum/string token.
+
+    Caller must hold ``_WALK_LOCK``.
+    """
+    bucket = _STR_BUCKETS.get(text)
+    if bucket is None:
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        bucket = int(digest[:12], 16) / float(16 ** 12)
+        _STR_BUCKETS[text] = bucket
+    return bucket
+
+
+def _opaque_bucket(raw: Any) -> float:
+    """Bucket for a non-scalar leaf, keyed by its content hash.
+
+    Caller must hold ``_WALK_LOCK``. Split out of the walker so the
+    purity pass sees one small key-building function instead of
+    classifying the whole (accumulator-mutating) walk as part of the
+    cache contract.
+    """
+    return _str_bucket(fastpath.stable_hash(raw))
+
+
+def _nominal_vdd(config: SystemConfig) -> float:
+    """The supply voltage ``vdd_v=None`` resolves to (tech nominal)."""
+    def _compute() -> float:
+        from repro.tech import Technology
+
+        try:
+            tech = Technology(
+                node_nm=config.node_nm,
+                temperature_k=config.temperature_k,
+                device_type=config.device_type,
+            )
+        except (KeyError, ValueError):
+            return ABSENT
+        return float(tech.vdd)
+
+    key = (
+        config.node_nm,
+        str(getattr(config.device_type, "value", config.device_type)),
+        config.temperature_k,
+    )
+    return _NOMINAL_VDD.get_or_compute(key, _compute)
+
+
+def _walk(
+    node: Any,
+    prefix: str,
+    names: list[str],
+    values: list[float],
+) -> None:
+    """Replay one node's plan. Caller must hold ``_WALK_LOCK``."""
+    for fname, path, code in _plan_for(type(node), prefix):
+        raw = getattr(node, fname)
+        cls = raw.__class__
+        if code == _GENERIC:
+            # Ordered by frequency: config leaves are overwhelmingly
+            # plain numbers (bools included — float() keeps them 0/1).
+            if cls is int or cls is float or cls is bool:
+                names.append(path)
+                values.append(float(raw))
+            elif raw is None:
+                names.append(path)
+                values.append(ABSENT)
+            elif isinstance(raw, enum.Enum):
+                names.append(path)
+                values.append(_str_bucket(str(raw.value)))
+            elif cls is str:
+                names.append(path)
+                values.append(_str_bucket(raw))
+            elif dataclasses.is_dataclass(raw):
+                _walk(raw, path + ".", names, values)
+            else:
+                names.append(path)
+                values.append(_opaque_bucket(raw))
+        elif code == _CLOCK:
+            names.append(path)
+            ratio = float(raw) / MHZ if raw is not None else 0.0
+            values.append(math.log2(ratio) if ratio > 0.0 else ABSENT)
+        elif code == _TEMPERATURE:
+            names.append(path)
+            values.append(
+                float(raw) / ROOM_TEMPERATURE_K if raw is not None
+                else ABSENT
+            )
+        else:  # _VDD: None resolves to the technology nominal
+            names.append(path)
+            values.append(
+                float(raw) if raw is not None else _nominal_vdd(node)
+            )
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One config's encoded features plus the schema they belong to.
+
+    Attributes:
+        names: Dotted feature paths, in deterministic walk order.
+        values: One float per name.
+        schema: Versioned digest of ``names`` + encoder revision; a
+            model only accepts vectors whose schema matches its own.
+    """
+
+    names: tuple[str, ...]
+    values: tuple[float, ...]
+    schema: str
+
+    def as_dict(self) -> dict[str, float]:
+        """Name -> value mapping (diagnostics, training dumps)."""
+        return dict(zip(self.names, self.values))
+
+
+def _schema_digest_locked(names: tuple[str, ...]) -> str:
+    digest = _SCHEMA_DIGESTS.get(names)
+    if digest is None:
+        digest = fastpath.stable_hash({
+            "v": FEATURE_SCHEMA_VERSION,
+            "names": list(names),
+        })
+        _SCHEMA_DIGESTS[names] = digest
+    return digest
+
+
+def schema_digest(names: tuple[str, ...]) -> str:
+    """The versioned schema hash for one feature-name tuple."""
+    with _WALK_LOCK:
+        return _schema_digest_locked(names)
+
+
+def extract(config: SystemConfig) -> FeatureVector:
+    """Encode one config as a :class:`FeatureVector`.
+
+    Three operating-point fields get physical transforms the regression
+    bases build on (the rest use the generic identity/bucket encoding):
+
+    * ``clock_hz`` — ``log2(f / 1 MHz)``;
+    * ``temperature_k`` — ratio to room temperature;
+    * ``vdd_v`` — volts, with ``None`` resolved to the technology's
+      nominal supply so an explicit nominal and a defaulted one encode
+      identically (they model identically).
+    """
+    names: list[str] = []
+    values: list[float] = []
+    with _WALK_LOCK:
+        _walk(config, "", names, values)
+        name_tuple = tuple(names)
+        digest = _schema_digest_locked(name_tuple)
+    return FeatureVector(
+        names=name_tuple,
+        values=tuple(values),
+        schema=digest,
+    )

@@ -1,0 +1,108 @@
+"""Small dense linear algebra for ridge regression via normal equations.
+
+The surrogate's fits are tiny (tens of basis columns, at most a few
+hundred training rows), so the normal-equation route — build
+``X'X + lam*I`` and ``X'y``, solve one symmetric system per target — is
+both exact enough and dependency-free. When the optional numpy extra is
+installed the solve goes through ``numpy.linalg.solve``; otherwise a
+pure-Python Gaussian elimination with partial pivoting handles the same
+systems, so training and prediction work identically on the no-numpy
+installation (mirroring :mod:`repro.batch`'s graceful degradation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.batch._numpy import get_numpy
+
+
+def solve(matrix: Sequence[Sequence[float]],
+          rhs: Sequence[float]) -> list[float]:
+    """Solve ``matrix @ x = rhs`` for one small dense system.
+
+    Raises:
+        ValueError: When the system is singular (or numerically so) —
+            for the surrogate's standardized, ridge-damped normal
+            equations this indicates a degenerate training set.
+    """
+    np = get_numpy()
+    if np is not None:
+        try:
+            solution = np.linalg.solve(
+                np.asarray(matrix, dtype=float),
+                np.asarray(rhs, dtype=float),
+            )
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(f"singular normal equations: {exc}") from exc
+        return [float(value) for value in solution]
+
+    n = len(rhs)
+    # Augmented working copy; elimination is in-place.
+    work = [list(map(float, row)) + [float(rhs[i])]
+            for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = max(range(col, n), key=lambda r: abs(work[r][col]))
+        pivot = work[pivot_row][col]
+        if abs(pivot) < 1e-300:
+            raise ValueError(
+                f"singular normal equations (pivot ~0 at column {col})"
+            )
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+        inv_pivot = 1.0 / pivot
+        for row in range(col + 1, n):
+            factor = work[row][col] * inv_pivot
+            for k in range(col, n + 1):
+                work[row][k] -= factor * work[col][k]
+    out = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = work[row][n]
+        for k in range(row + 1, n):
+            acc -= work[row][k] * out[k]
+        out[row] = acc / work[row][row]
+    return out
+
+
+def ridge_fit(
+    rows: Sequence[Sequence[float]],
+    targets: Sequence[float],
+    lam: float,
+) -> list[float]:
+    """Ridge-regression coefficients for one target via normal equations.
+
+    Args:
+        rows: Design-matrix rows (first column is conventionally the
+            intercept; it is damped like every other column, which at
+            the surrogate's ``lam`` (<= 1e-6) is immaterial).
+        targets: One response per row.
+        lam: Ridge damping added to the normal-equation diagonal.
+
+    Raises:
+        ValueError: On shape mismatches or a singular system.
+    """
+    if not rows:
+        raise ValueError("ridge_fit needs at least one training row")
+    if len(rows) != len(targets):
+        raise ValueError(
+            f"got {len(rows)} rows for {len(targets)} targets"
+        )
+    if lam < 0.0:
+        raise ValueError("ridge damping must be non-negative")
+    width = len(rows[0])
+    gram = [[0.0] * width for _ in range(width)]
+    moment = [0.0] * width
+    for row, response in zip(rows, targets):
+        if len(row) != width:
+            raise ValueError("ragged design matrix")
+        for i in range(width):
+            base = row[i]
+            moment[i] += base * response
+            gram_row = gram[i]
+            for j in range(i, width):
+                gram_row[j] += base * row[j]
+    for i in range(width):
+        for j in range(i + 1, width):
+            gram[j][i] = gram[i][j]
+        gram[i][i] += lam
+    return solve(gram, moment)

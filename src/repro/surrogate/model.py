@@ -1,0 +1,393 @@
+"""The saved surrogate model: segments, domain boxes, calibrated bounds.
+
+A :class:`SurrogateModel` is a versioned, JSON-round-trippable artifact
+holding one :class:`Segment` per training base configuration. A segment
+remembers the feature-space box its training grid covered (per-feature
+lo/hi), which features actually varied, the standardization of those
+features, and — per predicted metric — ridge coefficients over a
+quadratic basis plus the cross-validated residual statistics that back
+the segment's *declared relative error bound*.
+
+``predict`` answers in O(segments + basis) time: encode the config
+(:mod:`repro.surrogate.features`), find the segment whose box contains
+the vector (features the training grid never varied must match exactly;
+varied ones must lie inside the trained interval), and evaluate the
+per-metric polynomials in log space. A config outside every box comes
+back ``in_domain=False`` with no values — the caller falls back to the
+analytic engine (:mod:`repro.surrogate.tier`), never to an
+extrapolation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.config.schema import SystemConfig
+from repro.engine.record import EvalRecord
+from repro.surrogate.features import (
+    FEATURE_SCHEMA_VERSION,
+    FeatureVector,
+    extract,
+)
+
+#: Bump when the artifact layout changes; loaders reject other versions.
+MODEL_SCHEMA_VERSION = 1
+
+#: The EvalRecord metrics the surrogate predicts (all strictly positive,
+#: so fits run on their logarithms and residuals are relative errors).
+TARGET_METRICS = (
+    "area_mm2",
+    "tdp_w",
+    "peak_dynamic_w",
+    "leakage_w",
+    "core_area_mm2",
+    "core_peak_dynamic_w",
+    "core_leakage_w",
+)
+
+#: Slack on box-membership checks: exactly-reproduced training values
+#: must never be rejected for float round-off.
+_BOX_REL_EPS = 1e-9
+_BOX_ABS_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TargetFit:
+    """One metric's fitted polynomial and calibration statistics.
+
+    Attributes:
+        coef: Basis coefficients (see :func:`basis_row`) predicting
+            ``log(metric)``.
+        rel_err_q95: 95th-percentile held-out relative error from
+            k-fold cross-validation.
+        rel_err_max: Worst held-out relative error seen in CV.
+        rel_err_bound: The *declared* bound served with predictions —
+            ``rel_err_max`` times a safety factor, floored (see
+            :mod:`repro.surrogate.train`).
+    """
+
+    coef: tuple[float, ...]
+    rel_err_q95: float
+    rel_err_max: float
+    rel_err_bound: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "coef": list(self.coef),
+            "rel_err_q95": self.rel_err_q95,
+            "rel_err_max": self.rel_err_max,
+            "rel_err_bound": self.rel_err_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TargetFit":
+        return cls(
+            coef=tuple(float(c) for c in data["coef"]),
+            rel_err_q95=float(data["rel_err_q95"]),
+            rel_err_max=float(data["rel_err_max"]),
+            rel_err_bound=float(data["rel_err_bound"]),
+        )
+
+
+def basis_row(z_values: list[float]) -> list[float]:
+    """Quadratic basis over standardized varying features.
+
+    ``[1] + [z_i] + [z_i * z_j for i <= j]`` — intercept, linear terms,
+    squares and pairwise interactions. With the surrogate's typical 3
+    varying axes that is a 10-column design.
+    """
+    row = [1.0]
+    row.extend(z_values)
+    for i, left in enumerate(z_values):
+        for right in z_values[i:]:
+            row.append(left * right)
+    return row
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One training base's fitted region of config space.
+
+    Feature shape is *per segment*: optional config components
+    (``l2``, ``branch_predictor``, the little cluster) change the
+    flattened feature-name tuple, so each segment carries its own
+    schema digest and a candidate vector must carry the same digest
+    before its box is even considered.
+
+    Attributes:
+        name: Label (the training base config's chip name).
+        schema: Feature-schema digest the segment was trained under.
+        feature_names: The dotted feature paths ``lo``/``hi`` index
+            (provenance/diagnostics; membership uses ``schema``).
+        lo: Per-feature training minimum (box floor).
+        hi: Per-feature training maximum (box ceiling).
+        varying: Indices of features the training grid actually swept;
+            only these enter the regression basis. Every other feature
+            is pinned: a candidate must match it exactly (within float
+            slack) to be in-domain.
+        mean: Standardization mean per varying feature.
+        scale: Standardization scale per varying feature (all > 0).
+        n_train: Training-grid size (provenance).
+        targets: Metric name -> :class:`TargetFit`.
+    """
+
+    name: str
+    schema: str
+    feature_names: tuple[str, ...]
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+    varying: tuple[int, ...]
+    mean: tuple[float, ...]
+    scale: tuple[float, ...]
+    n_train: int
+    targets: Mapping[str, TargetFit]
+
+    def __post_init__(self) -> None:
+        # Slack-widened box edges, precomputed once so the predict hot
+        # path runs two comparisons per feature (frozen dataclass, hence
+        # object.__setattr__).
+        floor = tuple(
+            lo - (_BOX_ABS_EPS + _BOX_REL_EPS * max(abs(lo), abs(hi)))
+            for lo, hi in zip(self.lo, self.hi)
+        )
+        ceiling = tuple(
+            hi + (_BOX_ABS_EPS + _BOX_REL_EPS * max(abs(lo), abs(hi)))
+            for lo, hi in zip(self.lo, self.hi)
+        )
+        object.__setattr__(self, "_floor", floor)
+        object.__setattr__(self, "_ceiling", ceiling)
+
+    def contains(self, vector: FeatureVector) -> bool:
+        """Box membership: pinned features exact, varied ones in range."""
+        if vector.schema != self.schema:
+            return False
+        floor: tuple[float, ...] = self._floor  # type: ignore[attr-defined]
+        ceiling: tuple[float, ...] = self._ceiling  # type: ignore[attr-defined]
+        if len(vector.values) != len(floor):
+            return False
+        for value, lo, hi in zip(vector.values, floor, ceiling):
+            if value < lo or value > hi:
+                return False
+        return True
+
+    def evaluate(self, vector: FeatureVector) -> dict[str, float]:
+        """Metric predictions (linear units) for an in-box vector."""
+        z_values = [
+            (vector.values[idx] - mu) / sigma
+            for idx, mu, sigma in zip(self.varying, self.mean, self.scale)
+        ]
+        row = basis_row(z_values)
+        out: dict[str, float] = {}
+        for metric, fit in self.targets.items():
+            acc = 0.0
+            for coefficient, term in zip(fit.coef, row):
+                acc += coefficient * term
+            out[metric] = math.exp(acc)
+        return out
+
+    @property
+    def rel_err_bound(self) -> float:
+        """The segment's worst per-metric declared bound."""
+        return max(fit.rel_err_bound for fit in self.targets.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "feature_names": list(self.feature_names),
+            "lo": list(self.lo),
+            "hi": list(self.hi),
+            "varying": list(self.varying),
+            "mean": list(self.mean),
+            "scale": list(self.scale),
+            "n_train": self.n_train,
+            "targets": {
+                metric: fit.to_dict()
+                for metric, fit in self.targets.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Segment":
+        scale = tuple(float(s) for s in data["scale"])
+        if any(s <= 0.0 for s in scale):
+            raise ValueError(
+                f"segment {data.get('name')!r} has a non-positive "
+                f"standardization scale"
+            )
+        return cls(
+            name=str(data["name"]),
+            schema=str(data["schema"]),
+            feature_names=tuple(str(n) for n in data["feature_names"]),
+            lo=tuple(float(v) for v in data["lo"]),
+            hi=tuple(float(v) for v in data["hi"]),
+            varying=tuple(int(i) for i in data["varying"]),
+            mean=tuple(float(m) for m in data["mean"]),
+            scale=scale,
+            n_train=int(data["n_train"]),
+            targets={
+                metric: TargetFit.from_dict(fit)
+                for metric, fit in data["targets"].items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One surrogate answer, always carrying its error statement.
+
+    Attributes:
+        in_domain: Whether any trained segment covered the config. When
+            False every other field is empty/infinite and the caller
+            must use the analytic engine.
+        segment: Name of the answering segment (None out of domain).
+        metrics: Metric name -> predicted value (linear units).
+        rel_err_bounds: Metric name -> that metric's declared bound.
+        rel_err_bound: The worst declared bound across metrics — the
+            single number a tolerance check compares against.
+    """
+
+    in_domain: bool
+    segment: str | None
+    metrics: Mapping[str, float]
+    rel_err_bounds: Mapping[str, float]
+    rel_err_bound: float
+
+    def to_record(self, name: str, key: str) -> EvalRecord:
+        """Materialize as an :class:`EvalRecord` (``backend="surrogate"``).
+
+        Raises:
+            ValueError: When the prediction is out of domain.
+        """
+        if not self.in_domain:
+            raise ValueError(
+                "an out-of-domain prediction has no record; fall back "
+                "to the analytic engine"
+            )
+        return EvalRecord(
+            name=name,
+            key=key,
+            area_mm2=self.metrics["area_mm2"],
+            tdp_w=self.metrics["tdp_w"],
+            peak_dynamic_w=self.metrics["peak_dynamic_w"],
+            leakage_w=self.metrics["leakage_w"],
+            core_area_mm2=self.metrics["core_area_mm2"],
+            core_peak_dynamic_w=self.metrics["core_peak_dynamic_w"],
+            core_leakage_w=self.metrics["core_leakage_w"],
+            backend="surrogate",
+        )
+
+
+#: The canonical out-of-domain answer.
+OUT_OF_DOMAIN = Prediction(
+    in_domain=False,
+    segment=None,
+    metrics={},
+    rel_err_bounds={},
+    rel_err_bound=math.inf,
+)
+
+
+@dataclass(frozen=True)
+class SurrogateModel:
+    """A trained surrogate: segments plus shared provenance.
+
+    Attributes:
+        feature_schema_version: The
+            :data:`~repro.surrogate.features.FEATURE_SCHEMA_VERSION`
+            the artifact was trained under; loading rejects artifacts
+            from a different encoder revision. (The per-structure
+            schema *digest* lives on each segment — presets with
+            different optional components flatten to different feature
+            shapes.)
+        segments: Trained regions, probed in order.
+        trained_on: Free-form provenance (grid shape, folds, presets).
+    """
+
+    feature_schema_version: int
+    segments: tuple[Segment, ...]
+    trained_on: Mapping[str, Any]
+
+    def predict(self, config: SystemConfig) -> Prediction:
+        """Answer for one config, or :data:`OUT_OF_DOMAIN`."""
+        vector = extract(config)
+        for segment in self.segments:
+            if segment.contains(vector):
+                return Prediction(
+                    in_domain=True,
+                    segment=segment.name,
+                    metrics=segment.evaluate(vector),
+                    rel_err_bounds={
+                        metric: fit.rel_err_bound
+                        for metric, fit in segment.targets.items()
+                    },
+                    rel_err_bound=segment.rel_err_bound,
+                )
+        return OUT_OF_DOMAIN
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": MODEL_SCHEMA_VERSION,
+            "feature_schema_version": self.feature_schema_version,
+            "segments": [segment.to_dict() for segment in self.segments],
+            "trained_on": dict(self.trained_on),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SurrogateModel":
+        version = data.get("version")
+        if version != MODEL_SCHEMA_VERSION:
+            raise ValueError(
+                f"surrogate model schema version {version!r} is not "
+                f"supported (this build reads version "
+                f"{MODEL_SCHEMA_VERSION})"
+            )
+        encoder = data.get("feature_schema_version")
+        if encoder != FEATURE_SCHEMA_VERSION:
+            raise ValueError(
+                f"surrogate model was trained under feature-encoder "
+                f"revision {encoder!r}; this build encodes revision "
+                f"{FEATURE_SCHEMA_VERSION} — retrain the artifact"
+            )
+        return cls(
+            feature_schema_version=int(encoder),
+            segments=tuple(
+                Segment.from_dict(segment)
+                for segment in data["segments"]
+            ),
+            trained_on=dict(data.get("trained_on", {})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the artifact as pretty-printed, sorted JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SurrogateModel":
+        """Read an artifact written by :meth:`save`.
+
+        Raises:
+            ValueError: On a malformed or version-mismatched artifact.
+        """
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"surrogate model at {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"surrogate model at {path} is not a JSON object"
+            )
+        try:
+            return cls.from_dict(data)
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"surrogate model at {path} is malformed: {exc!r}"
+            ) from exc

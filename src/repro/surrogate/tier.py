@@ -1,0 +1,277 @@
+"""The surrogate evaluation tier: predict when safe, fall back when not.
+
+A :class:`SurrogateTier` wraps one trained
+:class:`~repro.surrogate.model.SurrogateModel` behind the decision the
+rest of the stack delegates to it: *may this config be answered
+approximately?* A prediction is served only when the config lies inside
+a trained segment's domain box **and** the segment's declared relative
+error bound meets the caller's tolerance; everything else — out-of-box
+configs, too-loose segments, workload (runtime) requests — falls back
+to the exact analytic engine. Fallbacks that at least reached the model
+are remembered in a bounded buffer (config + the exact record the
+engine then computed) so a retraining pass can grow the domain where
+demand actually is; the exact records themselves flow into the shared
+:class:`~repro.engine.cache.EvalCache` via the normal engine path.
+
+Module-level counters follow the :mod:`repro.batch.backend` idiom and
+are registered as a pull-side obs collector (``surrogate.*`` in
+``GET /metrics``), with the difference that the serve tier drives this
+module from several executor threads at once, so every counter
+mutation is lock-guarded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, TYPE_CHECKING
+
+from repro.config.loader import system_config_to_dict
+from repro.config.schema import SystemConfig
+from repro.engine.record import EvalRecord
+from repro.obs import metrics as _obs_metrics
+from repro.surrogate.model import Prediction, SurrogateModel
+
+if TYPE_CHECKING:
+    from repro.engine.cache import EvalCache
+    from repro.perf.workload import Workload
+
+#: Packaged default model artifact (see ``make surrogate-model``).
+DEFAULT_MODEL_RESOURCE = "model_default.json"
+
+#: Fallback (config, record) pairs a tier retains for retraining.
+DEFAULT_FEEDBACK_LIMIT = 256
+
+_COUNTER_NAMES = (
+    "predictions",
+    "hits",
+    "fallbacks_domain",
+    "fallbacks_tolerance",
+    "fallbacks_workload",
+    "misses_recorded",
+)
+
+_LOCK = threading.Lock()
+
+#: Shared across every tier instance; serve executor threads mutate
+#: these concurrently.
+_counters: dict[str, float] = {  # repro: guarded-by[_LOCK]
+    name: 0.0 for name in _COUNTER_NAMES
+}
+
+#: Worst declared bound actually served (0 until the first hit).
+_max_bound_served: float = 0.0  # repro: guarded-by[_LOCK]
+
+
+def counters() -> dict[str, float]:
+    """A snapshot of the tier counters (benchmarks, tests)."""
+    with _LOCK:
+        return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Zero the tier counters (cold-start state for benchmarks)."""
+    global _max_bound_served
+    with _LOCK:
+        for name in _COUNTER_NAMES:
+            _counters[name] = 0.0
+        _max_bound_served = 0.0
+
+
+def _count(name: str) -> None:
+    with _LOCK:
+        _counters[name] += 1.0
+
+
+def _note_bound_served(bound: float) -> None:
+    global _max_bound_served
+    with _LOCK:
+        if bound > _max_bound_served:
+            _max_bound_served = bound
+
+
+def _obs_collect() -> dict[str, float]:
+    with _LOCK:
+        out = {
+            f"surrogate.{name}": value
+            for name, value in _counters.items()
+        }
+        out["surrogate.max_rel_err_bound_served"] = _max_bound_served
+    return out
+
+
+_obs_metrics.register_collector("surrogate.tier", _obs_collect)
+
+
+class SurrogateTier:
+    """One model plus the fallback policy and miss feedback around it.
+
+    Thread-safe: the serve tier calls one process-wide instance from
+    its executor threads.
+
+    Args:
+        model: The trained model to answer from.
+        feedback_limit: Bounded capacity of the miss buffer (oldest
+            entries are dropped first).
+    """
+
+    def __init__(
+        self,
+        model: SurrogateModel,
+        feedback_limit: int = DEFAULT_FEEDBACK_LIMIT,
+    ) -> None:
+        if feedback_limit < 1:
+            raise ValueError("feedback_limit must be >= 1")
+        self.model = model
+        self._feedback_lock = threading.Lock()
+        misses: deque[tuple[SystemConfig, EvalRecord]] = deque(
+            maxlen=feedback_limit)
+        self._misses = misses  # repro: guarded-by[_feedback_lock]
+
+    def try_predict(
+        self,
+        config: SystemConfig,
+        key: str = "",
+        rel_tol: float | None = None,
+        workload: "Workload | None" = None,
+    ) -> tuple[EvalRecord, Prediction] | None:
+        """One surrogate attempt; ``None`` means "use the exact engine".
+
+        Args:
+            config: Candidate configuration.
+            key: Cache key to stamp on the returned record (purely
+                informational — surrogate records are never stored in
+                the exact-result cache).
+            rel_tol: Caller's relative error tolerance; a segment whose
+                declared bound exceeds it is refused (counted as a
+                tolerance fallback). ``None`` accepts any in-domain
+                segment.
+            workload: Runtime requests cannot be answered approximately
+                (the surrogate models TDP-path metrics only) and always
+                fall back.
+        """
+        _count("predictions")
+        if workload is not None:
+            _count("fallbacks_workload")
+            return None
+        prediction = self.model.predict(config)
+        if not prediction.in_domain:
+            _count("fallbacks_domain")
+            return None
+        if rel_tol is not None and prediction.rel_err_bound > rel_tol:
+            _count("fallbacks_tolerance")
+            return None
+        _count("hits")
+        _note_bound_served(prediction.rel_err_bound)
+        return prediction.to_record(config.name, key), prediction
+
+    def observe_miss(
+        self, config: SystemConfig, record: EvalRecord,
+    ) -> None:
+        """Remember one fallback's exact result as a training sample."""
+        with self._feedback_lock:
+            self._misses.append((config, record))
+        _count("misses_recorded")
+
+    def drain_misses(self) -> list[dict[str, Any]]:
+        """Take (and clear) the buffered fallback samples.
+
+        Returns JSON-ready ``{"config": ..., "record": ...}`` entries —
+        the shape a retraining pass consumes.
+        """
+        with self._feedback_lock:
+            taken = list(self._misses)
+            self._misses.clear()
+        return [
+            {
+                "config": system_config_to_dict(config),
+                "record": record.to_dict(),
+            }
+            for config, record in taken
+        ]
+
+    def pending_misses(self) -> int:
+        """Buffered fallback samples awaiting :meth:`drain_misses`."""
+        with self._feedback_lock:
+            return len(self._misses)
+
+    def evaluate(
+        self,
+        config: SystemConfig,
+        workload: "Workload | None" = None,
+        exact: bool = False,
+        rel_tol: float | None = None,
+        cache: "EvalCache | None | object" = ...,
+        jobs: int = 1,
+    ) -> EvalRecord:
+        """Evaluate one config through the full tiered policy.
+
+        Exactly :func:`repro.engine.evaluate_many` on a single config
+        with this tier injected: cache hits (exact, free) win first,
+        then the surrogate when admissible, then the analytic engine —
+        whose result lands in the cache and in this tier's miss buffer.
+        """
+        from repro.engine import DEFAULT_CACHE, evaluate_many
+
+        resolved_cache = DEFAULT_CACHE if cache is ... else cache
+        return evaluate_many(
+            [config],
+            workload=workload,
+            jobs=jobs,
+            cache=resolved_cache,  # type: ignore[arg-type]
+            exact=exact,
+            rel_tol=rel_tol,
+            surrogate=self,
+        )[0]
+
+
+#: Lazy default tier around the packaged artifact. ``False`` = not yet
+#: attempted; ``None`` = attempted, unavailable.
+_default_tier: "SurrogateTier | None | bool" = False  # repro: guarded-by[_LOCK]
+
+
+def _load_default_model() -> SurrogateModel | None:
+    from importlib import resources
+
+    try:
+        root = resources.files("repro.surrogate")
+        payload = (root / DEFAULT_MODEL_RESOURCE).read_text()
+    except (FileNotFoundError, OSError):
+        return None
+    import json
+
+    try:
+        return SurrogateModel.from_dict(json.loads(payload))
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+        return None
+
+
+def default_tier() -> SurrogateTier | None:
+    """The process-wide tier over the packaged model, or ``None``.
+
+    ``None`` (a missing or unreadable packaged artifact) makes every
+    ``exact=False`` request fall through to the analytic engine —
+    graceful degradation, mirroring the numpy-less batch backend.
+    """
+    global _default_tier
+    with _LOCK:
+        cached = _default_tier
+    if cached is not False:
+        return cached  # type: ignore[return-value]
+    model = _load_default_model()
+    tier = SurrogateTier(model) if model is not None else None
+    with _LOCK:
+        if _default_tier is False:
+            _default_tier = tier
+        cached = _default_tier
+    return cached  # type: ignore[return-value]
+
+
+def set_default_tier(tier: SurrogateTier | None) -> None:
+    """Replace the process-wide default tier (tests, custom models).
+
+    Passing ``None`` re-arms lazy loading of the packaged artifact.
+    """
+    global _default_tier
+    with _LOCK:
+        _default_tier = tier if tier is not None else False

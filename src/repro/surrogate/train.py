@@ -1,0 +1,432 @@
+"""Training: sweep-generated datasets -> fitted, calibrated segments.
+
+The exact analytic engine is the oracle: a training set is just a
+:func:`repro.engine.sweep.run_sweep` grid over the operating-point axes
+(clock, temperature, supply voltage) of one base configuration,
+evaluated on the scalar path. Each grid becomes one
+:class:`~repro.surrogate.model.Segment`: a ridge fit of every
+:data:`~repro.surrogate.model.TARGET_METRICS` in log space over a
+quadratic basis of the swept features, plus k-fold cross-validated
+residual statistics. The segment's *declared* relative error bound is
+the worst held-out CV error times a safety factor (floored), so the
+bound a prediction carries is an empirical, slightly pessimistic
+statement about interpolation error inside the training box — exactly
+what the calibration benchmark re-checks against fresh held-out points.
+
+Everything here is deterministic: the grid, the fold assignment
+(round-robin by grid index), and the normal-equation solve, so
+retraining from the same code reproduces the artifact bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.config.schema import SystemConfig
+from repro.engine.cache import EvalCache
+from repro.engine.record import EvalRecord
+from repro.engine.sweep import SweepSpec, run_sweep
+from repro.surrogate import features
+from repro.surrogate.features import (
+    FEATURE_SCHEMA_VERSION,
+    FeatureVector,
+    extract,
+)
+from repro.surrogate.linalg import ridge_fit
+from repro.surrogate.model import (
+    Segment,
+    SurrogateModel,
+    TARGET_METRICS,
+    TargetFit,
+    basis_row,
+)
+
+#: Ridge damping on the standardized quadratic basis — just enough to
+#: keep the normal equations well-conditioned, far below the data scale.
+RIDGE_LAMBDA = 1e-8
+
+#: Cross-validation folds (capped at the training-set size).
+DEFAULT_FOLDS = 5
+
+#: Declared bound = max held-out CV error * safety, floored. The floor
+#: keeps a suspiciously perfect fit from declaring a bound tighter than
+#: what fresh held-out points can be expected to confirm.
+BOUND_SAFETY = 2.0
+BOUND_FLOOR = 5e-3
+
+#: A feature is "varying" when its training span exceeds this (absolute
+#: + relative) — everything tighter is pinned to exact-match in the box.
+_SPAN_ABS = 1e-12
+_SPAN_REL = 1e-9
+
+#: Default training grid: multiplicative factors on the base operating
+#: point. 5 clocks x 5 temperatures x 3 supplies = 75 exact points.
+#: The supply range is deliberately tight (±2.5%): the analytic model's
+#: technology tables have genuine discontinuities in vdd (e.g. a ~9%
+#: peak-dynamic cliff at 1.035x nominal on the 1.1 V presets), and a
+#: smooth surrogate must keep its domain box strictly inside one smooth
+#: region — configs beyond it fall back to the exact engine instead of
+#: being interpolated across a cliff.
+CLOCK_FACTORS = (0.8, 0.9, 1.0, 1.1, 1.2)
+TEMPERATURE_FACTORS = (0.92, 0.96, 1.0, 1.04, 1.08)
+VDD_FACTORS = (0.975, 1.0, 1.025)
+
+#: Held-out factors for calibration checks: strictly interior to the
+#: training box and disjoint from every training value.
+HELDOUT_CLOCK_FACTORS = (0.85, 0.95, 1.05, 1.15)
+HELDOUT_TEMPERATURE_FACTORS = (0.94, 1.02, 1.06)
+HELDOUT_VDD_FACTORS = (0.9875, 1.0125)
+
+
+def _nominal_supply(base: SystemConfig) -> float:
+    supply = (
+        float(base.vdd_v) if base.vdd_v is not None
+        else features._nominal_vdd(base)
+    )
+    if supply <= 0.0:
+        raise ValueError(
+            f"cannot resolve a nominal supply voltage for "
+            f"{base.name!r} (node {base.node_nm} nm)"
+        )
+    return supply
+
+
+def default_axes(base: SystemConfig) -> dict[str, list[float]]:
+    """The standard training grid for one base config (75 points)."""
+    supply = _nominal_supply(base)
+    return {
+        "clock_hz": [base.clock_hz * f for f in CLOCK_FACTORS],
+        "temperature_k": [
+            base.temperature_k * f for f in TEMPERATURE_FACTORS
+        ],
+        "vdd_v": [supply * f for f in VDD_FACTORS],
+    }
+
+
+def heldout_axes(base: SystemConfig) -> dict[str, list[float]]:
+    """An interior grid sharing no point with :func:`default_axes`."""
+    supply = _nominal_supply(base)
+    return {
+        "clock_hz": [base.clock_hz * f for f in HELDOUT_CLOCK_FACTORS],
+        "temperature_k": [
+            base.temperature_k * f for f in HELDOUT_TEMPERATURE_FACTORS
+        ],
+        "vdd_v": [supply * f for f in HELDOUT_VDD_FACTORS],
+    }
+
+
+def build_dataset(
+    base: SystemConfig,
+    axes: Mapping[str, Sequence[Any]],
+    cache: EvalCache | None = None,
+    jobs: int = 1,
+) -> list[tuple[FeatureVector, EvalRecord]]:
+    """Evaluate one training grid on the exact scalar path.
+
+    Returns ``(feature vector, exact record)`` per grid point, in grid
+    order.
+    """
+    spec = SweepSpec.from_axes(base, dict(axes))
+    results = run_sweep(spec, jobs=jobs, cache=cache, backend=None)
+    return [
+        (extract(result.config), result.record)
+        for result in results
+    ]
+
+
+def _percentile95(sorted_errors: list[float]) -> float:
+    if not sorted_errors:
+        return 0.0
+    rank = int(math.ceil(0.95 * len(sorted_errors))) - 1
+    return sorted_errors[max(0, rank)]
+
+
+def _log_targets(
+    dataset: Sequence[tuple[FeatureVector, EvalRecord]],
+    name: str,
+) -> dict[str, list[float]]:
+    out: dict[str, list[float]] = {metric: [] for metric in TARGET_METRICS}
+    for _, record in dataset:
+        for metric in TARGET_METRICS:
+            value = getattr(record, metric)
+            if value is None or value <= 0.0:
+                raise ValueError(
+                    f"training point for segment {name!r} has "
+                    f"non-positive {metric}={value!r}; the surrogate "
+                    f"fits logarithms and needs strictly positive "
+                    f"targets"
+                )
+            out[metric].append(math.log(value))
+    return out
+
+
+def train_segment(
+    dataset: Sequence[tuple[FeatureVector, EvalRecord]],
+    name: str | None = None,
+    folds: int = DEFAULT_FOLDS,
+) -> Segment:
+    """Fit one segment from one grid's (vector, exact record) pairs.
+
+    Raises:
+        ValueError: On an empty/inconsistent dataset, a grid with no
+            varying feature, or non-positive target metrics.
+    """
+    if not dataset:
+        raise ValueError("cannot train a segment from an empty dataset")
+    if folds < 2:
+        raise ValueError("cross-validation needs at least 2 folds")
+    schema = dataset[0][0].schema
+    width = len(dataset[0][0].values)
+    for vector, _ in dataset:
+        if vector.schema != schema or len(vector.values) != width:
+            raise ValueError(
+                "training vectors disagree on the feature schema; all "
+                "points of one segment must share a config structure"
+            )
+    label = name if name is not None else dataset[0][1].name
+
+    lo = list(dataset[0][0].values)
+    hi = list(dataset[0][0].values)
+    for vector, _ in dataset:
+        for i, value in enumerate(vector.values):
+            if value < lo[i]:
+                lo[i] = value
+            if value > hi[i]:
+                hi[i] = value
+    varying = tuple(
+        i for i in range(width)
+        if hi[i] - lo[i] > _SPAN_ABS + _SPAN_REL * max(abs(lo[i]),
+                                                      abs(hi[i]))
+    )
+    if not varying:
+        raise ValueError(
+            f"segment {label!r} grid never varies any feature; a "
+            f"surrogate over a single point is meaningless"
+        )
+
+    n_points = len(dataset)
+    mean = []
+    scale = []
+    for idx in varying:
+        column = [vector.values[idx] for vector, _ in dataset]
+        mu = sum(column) / n_points
+        var = sum((value - mu) ** 2 for value in column) / n_points
+        sigma = math.sqrt(var)
+        if sigma <= 0.0:
+            raise ValueError(
+                f"segment {label!r} feature #{idx} spans a range but "
+                f"has zero variance; degenerate grid"
+            )
+        mean.append(mu)
+        scale.append(sigma)
+
+    rows = []
+    for vector, _ in dataset:
+        z_values = [
+            (vector.values[idx] - mu) / sigma
+            for idx, mu, sigma in zip(varying, mean, scale)
+        ]
+        rows.append(basis_row(z_values))
+    log_targets = _log_targets(dataset, label)
+
+    n_folds = min(folds, n_points)
+    fits: dict[str, TargetFit] = {}
+    for metric in TARGET_METRICS:
+        responses = log_targets[metric]
+        errors: list[float] = []
+        for fold in range(n_folds):
+            train_rows = [
+                row for i, row in enumerate(rows) if i % n_folds != fold
+            ]
+            train_resp = [
+                resp for i, resp in enumerate(responses)
+                if i % n_folds != fold
+            ]
+            coef = ridge_fit(train_rows, train_resp, RIDGE_LAMBDA)
+            for i, row in enumerate(rows):
+                if i % n_folds != fold:
+                    continue
+                predicted = sum(c * term for c, term in zip(coef, row))
+                errors.append(abs(math.exp(predicted - responses[i]) - 1.0))
+        errors.sort()
+        final = ridge_fit(rows, responses, RIDGE_LAMBDA)
+        worst = errors[-1] if errors else 0.0
+        fits[metric] = TargetFit(
+            coef=tuple(final),
+            rel_err_q95=_percentile95(errors),
+            rel_err_max=worst,
+            rel_err_bound=max(BOUND_SAFETY * worst, BOUND_FLOOR),
+        )
+
+    return Segment(
+        name=label,
+        schema=schema,
+        feature_names=dataset[0][0].names,
+        lo=tuple(lo),
+        hi=tuple(hi),
+        varying=varying,
+        mean=tuple(mean),
+        scale=tuple(scale),
+        n_train=n_points,
+        targets=fits,
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One base config's held-out calibration verdict.
+
+    Attributes:
+        base: The checked config's chip label.
+        n_points: Held-out grid points evaluated exactly.
+        in_domain: How many of them the model answered (all, unless the
+            model was trained on a different config structure or grid).
+        worst_rel_err: Worst observed relative error across all points
+            and metrics.
+        q95_rel_err: 95th-percentile observed relative error (pooled
+            across metrics).
+        bound: The answering segment's declared relative error bound.
+        per_metric: Metric name -> ``{"q95", "max", "bound"}`` observed
+            vs declared statistics.
+        ok: ``True`` iff every point was in-domain and every metric's
+            worst observed error stayed within its declared bound.
+    """
+
+    base: str
+    n_points: int
+    in_domain: int
+    worst_rel_err: float
+    q95_rel_err: float
+    bound: float
+    per_metric: Mapping[str, Mapping[str, float]]
+    ok: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base": self.base,
+            "n_points": self.n_points,
+            "in_domain": self.in_domain,
+            "worst_rel_err": self.worst_rel_err,
+            "q95_rel_err": self.q95_rel_err,
+            "bound": self.bound,
+            "per_metric": {
+                metric: dict(stats)
+                for metric, stats in self.per_metric.items()
+            },
+            "ok": self.ok,
+        }
+
+
+def check_calibration(
+    model: SurrogateModel,
+    base: SystemConfig,
+    axes: Mapping[str, Sequence[Any]] | None = None,
+    cache: EvalCache | None = None,
+    jobs: int = 1,
+) -> CalibrationCheck:
+    """Re-verify a model's declared bounds against fresh exact points.
+
+    Evaluates a held-out grid (default :func:`heldout_axes` — strictly
+    interior to the training box, disjoint from every training value)
+    on the exact engine and compares the model's predictions point by
+    point. The declared bound is an empirical promise; this is the
+    audit that keeps it honest (run in CI for every validation preset).
+    """
+    grid = dict(axes) if axes is not None else heldout_axes(base)
+    spec = SweepSpec.from_axes(base, grid)
+    results = run_sweep(spec, jobs=jobs, cache=cache, backend=None)
+    errors: dict[str, list[float]] = {
+        metric: [] for metric in TARGET_METRICS
+    }
+    bounds: dict[str, float] = {}
+    in_domain = 0
+    for result in results:
+        prediction = model.predict(result.config)
+        if not prediction.in_domain:
+            continue
+        in_domain += 1
+        if not bounds:
+            bounds = dict(prediction.rel_err_bounds)
+        for metric in TARGET_METRICS:
+            exact_value = getattr(result.record, metric)
+            if exact_value is None or not exact_value > 0.0:
+                errors[metric].append(math.inf)
+                continue
+            errors[metric].append(
+                abs(prediction.metrics[metric] / exact_value - 1.0)
+            )
+    per_metric: dict[str, dict[str, float]] = {}
+    pooled: list[float] = []
+    ok = in_domain == len(results) and in_domain > 0
+    for metric in TARGET_METRICS:
+        observed = sorted(errors[metric])
+        worst = observed[-1] if observed else 0.0
+        declared = bounds.get(metric, 0.0)
+        per_metric[metric] = {
+            "q95": _percentile95(observed),
+            "max": worst,
+            "bound": declared,
+        }
+        pooled.extend(observed)
+        if worst > declared:
+            ok = False
+    pooled.sort()
+    return CalibrationCheck(
+        base=base.name,
+        n_points=len(results),
+        in_domain=in_domain,
+        worst_rel_err=pooled[-1] if pooled else 0.0,
+        q95_rel_err=_percentile95(pooled),
+        bound=max(bounds.values()) if bounds else 0.0,
+        per_metric=per_metric,
+        ok=ok,
+    )
+
+
+def train(
+    bases: Sequence[SystemConfig],
+    axes_for: Callable[[SystemConfig], Mapping[str, Sequence[Any]]]
+    | None = None,
+    folds: int = DEFAULT_FOLDS,
+    cache: EvalCache | None = None,
+    jobs: int = 1,
+    provenance: Mapping[str, Any] | None = None,
+) -> SurrogateModel:
+    """Train one model: one segment per base configuration.
+
+    Args:
+        bases: Base configs; each contributes one segment named after
+            its chip label.
+        axes_for: Training-grid factory (default :func:`default_axes`).
+        folds: Cross-validation folds per segment.
+        cache: Result cache for the oracle sweeps (``None`` = fresh).
+        jobs: Worker processes for the oracle sweeps.
+        provenance: Extra entries merged into the model's
+            ``trained_on`` block.
+    """
+    if not bases:
+        raise ValueError("need at least one base config to train on")
+    make_axes = axes_for if axes_for is not None else default_axes
+    segments = []
+    for base in bases:
+        dataset = build_dataset(base, make_axes(base), cache=cache,
+                                jobs=jobs)
+        segments.append(train_segment(dataset, name=base.name,
+                                      folds=folds))
+    trained_on: dict[str, Any] = {
+        "bases": [base.name for base in bases],
+        "folds": folds,
+        "points_per_segment": segments[0].n_train,
+        "clock_factors": list(CLOCK_FACTORS),
+        "temperature_factors": list(TEMPERATURE_FACTORS),
+        "vdd_factors": list(VDD_FACTORS),
+    }
+    if provenance:
+        trained_on.update(provenance)
+    return SurrogateModel(
+        feature_schema_version=FEATURE_SCHEMA_VERSION,
+        segments=tuple(segments),
+        trained_on=trained_on,
+    )

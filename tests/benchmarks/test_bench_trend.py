@@ -1,0 +1,147 @@
+"""Tests for the benchmark trend gate (``benchmarks/bench_trend.py``).
+
+The benchmarks directory is not a package; the module under test loads
+straight from its file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (Path(__file__).resolve().parents[2]
+                / "benchmarks" / "bench_trend.py")
+
+
+@pytest.fixture(scope="module")
+def trend():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trend", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_payload(path: Path, **fields) -> Path:
+    payload = {"benchmark": "test", "smoke": False}
+    payload.update(fields)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty(self, trend, tmp_path):
+        assert trend.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_empty_file_is_empty(self, trend, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text("")
+        assert trend.load_history(path) == []
+
+    def test_corrupt_line_skipped(self, trend, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps({"speedup": 9.0}) + "\n"
+            + "{truncated garbag\n"
+            + "\n"  # blank lines are fine too
+            + json.dumps({"speedup": 7.0}) + "\n"
+        )
+        runs = trend.load_history(path)
+        assert [run["speedup"] for run in runs] == [9.0, 7.0]
+
+
+class TestWorstSpeedup:
+    def test_top_level_speedup_shape(self, trend):
+        assert trend.worst_speedup({"speedup": 42.5}) == pytest.approx(42.5)
+
+    def test_per_preset_cold_speedup_shape(self, trend):
+        payload = {"presets": [{"cold_speedup": 8.0},
+                               {"cold_speedup": 5.5}]}
+        assert trend.worst_speedup(payload) == pytest.approx(5.5)
+
+    def test_top_level_speedup_wins_over_presets(self, trend):
+        payload = {"speedup": 3.0,
+                   "presets": [{"cold_speedup": 9.0}]}
+        assert trend.worst_speedup(payload) == pytest.approx(3.0)
+
+    def test_no_results_at_all_fails(self, trend):
+        with pytest.raises(SystemExit, match="no preset results"):
+            trend.worst_speedup({"presets": []})
+
+
+class TestMainExitContract:
+    def test_missing_payload_fails_with_hint(self, trend, tmp_path):
+        with pytest.raises(SystemExit, match="no benchmark payload"):
+            trend.main(["--current", str(tmp_path / "nope.json"),
+                        "--history", str(tmp_path / "h.jsonl")])
+
+    def test_above_floor_passes_and_appends(self, trend, tmp_path,
+                                            capsys):
+        current = write_payload(tmp_path / "cur.json",
+                                speedup=10.0, speedup_floor=5.0)
+        history = tmp_path / "h.jsonl"
+        assert trend.main(["--current", str(current),
+                           "--history", str(history)]) == 0
+        runs = trend.load_history(history)
+        assert len(runs) == 1
+        assert runs[0]["speedup"] == pytest.approx(10.0)
+        assert "recorded_at" in runs[0]
+        assert "ok:" in capsys.readouterr().out
+
+    def test_below_floor_fails_but_still_appends(self, trend, tmp_path,
+                                                 capsys):
+        current = write_payload(tmp_path / "cur.json",
+                                speedup=2.0, speedup_floor=5.0)
+        history = tmp_path / "h.jsonl"
+        assert trend.main(["--current", str(current),
+                           "--history", str(history)]) == 1
+        # The regressing run still lands in the history: the trend
+        # table must show the dip, not hide it.
+        assert len(trend.load_history(history)) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_preset_shape_gates_on_worst(self, trend, tmp_path):
+        current = write_payload(
+            tmp_path / "cur.json",
+            speedup_floor=5.0,
+            presets=[{"cold_speedup": 9.0}, {"cold_speedup": 4.0}],
+        )
+        assert trend.main(["--current", str(current),
+                           "--history", str(tmp_path / "h.jsonl")]) == 1
+
+    def test_missing_floor_defaults_to_zero(self, trend, tmp_path):
+        current = write_payload(tmp_path / "cur.json", speedup=0.1)
+        assert trend.main(["--current", str(current),
+                           "--history", str(tmp_path / "h.jsonl")]) == 0
+
+    def test_history_accumulates_across_runs(self, trend, tmp_path):
+        history = tmp_path / "h.jsonl"
+        for speedup in (6.0, 7.0, 8.0):
+            current = write_payload(tmp_path / "cur.json",
+                                    speedup=speedup, speedup_floor=5.0)
+            assert trend.main(["--current", str(current),
+                               "--history", str(history)]) == 0
+        runs = trend.load_history(history)
+        assert [run["speedup"] for run in runs] == [6.0, 7.0, 8.0]
+
+    def test_corrupt_history_does_not_block_the_gate(self, trend,
+                                                     tmp_path):
+        history = tmp_path / "h.jsonl"
+        history.write_text("not json at all\n")
+        current = write_payload(tmp_path / "cur.json",
+                                speedup=10.0, speedup_floor=5.0)
+        assert trend.main(["--current", str(current),
+                           "--history", str(history)]) == 0
+
+
+class TestFormatTrend:
+    def test_table_windows_to_recent_runs(self, trend):
+        runs = [{"speedup": float(i), "speedup_floor": 1.0,
+                 "recorded_at": f"t{i}", "smoke": False}
+                for i in range(trend.TREND_WINDOW + 5)]
+        table = trend.format_trend(runs)
+        lines = table.splitlines()
+        assert len(lines) == trend.TREND_WINDOW + 1  # header + window
+        assert "t0" not in table  # oldest runs rolled out
+        assert f"t{len(runs) - 1}" in table

@@ -42,7 +42,8 @@ def sleepy_evaluate_many(sleep_s: float):
     """A fake ``evaluate_many`` sleeping for configs named ``slow*``."""
 
     def fake(configs, objective=None, workload=None, jobs=1, cache=None,
-             with_metrics=False):
+             with_metrics=False, backend=None, exact=True, rel_tol=None,
+             surrogate=None):
         if configs[0].name.startswith("slow"):
             time.sleep(sleep_s)
         return [fake_record(config) for config in configs]

@@ -1,0 +1,139 @@
+"""Service-level tests for approximate (``exact=false``) evaluation.
+
+These run a real server like ``tests/serve/test_server.py``, but with
+the process-wide default surrogate tier swapped for one trained on the
+cheap tiny config, so surrogate hits and fallbacks are driven end to
+end without paying for a full-preset model.
+"""
+
+import pytest
+
+from repro import surrogate
+from repro.config.loader import system_config_to_dict
+from repro.serve import BackgroundServer, ServeConfig, ServeError
+from repro.surrogate import tier as tier_mod
+
+from tests.surrogate.conftest import far_point, heldout_point
+
+
+@pytest.fixture
+def tiny_tier(tiny_model):
+    """The tiny-config tier installed as the process default."""
+    tier = surrogate.SurrogateTier(tiny_model)
+    surrogate.set_default_tier(tier)
+    tier_mod.reset_counters()
+    yield tier
+    surrogate.set_default_tier(None)
+    tier_mod.reset_counters()
+
+
+@pytest.fixture(scope="package")
+def tiny_base():
+    # tests/surrogate's package fixtures aren't visible from this
+    # package, so the cheap model is re-declared here (scope: serve).
+    from tests.conftest import make_tiny_config
+
+    return make_tiny_config()
+
+
+@pytest.fixture(scope="package")
+def tiny_model(tiny_base):
+    return surrogate.train([tiny_base], cache=None)
+
+
+def in_domain_dict(base):
+    return system_config_to_dict(heldout_point(base))
+
+
+class TestApproximateEvaluate:
+    def test_surrogate_answer_carries_tier_and_bound(
+            self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            response = server.client().evaluate(
+                config=in_domain_dict(tiny_base), exact=False)
+        assert response["tier"] == "surrogate"
+        assert response["_headers"]["x-eval-tier"] == "surrogate"
+        bound = response["rel_err_bound"]
+        assert 0.0 < bound < 1.0
+        assert bound == pytest.approx(
+            tiny_tier.model.segments[0].rel_err_bound)
+        assert "report_text" not in response
+        assert response["record"]["area_mm2"] > 0.0
+
+    def test_exact_default_stays_exact(self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            response = server.client().evaluate(
+                config=in_domain_dict(tiny_base))
+        assert response["tier"] == "exact"
+        assert response["_headers"]["x-eval-tier"] == "exact"
+        assert "rel_err_bound" not in response
+        assert tier_mod.counters()["predictions"] == pytest.approx(0.0)
+
+    def test_out_of_domain_falls_back_to_exact(
+            self, tiny_tier, tiny_base):
+        config = system_config_to_dict(far_point(tiny_base))
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            response = server.client().evaluate(config=config,
+                                                exact=False)
+        assert response["tier"] == "exact"
+        assert "rel_err_bound" not in response
+        assert tiny_tier.pending_misses() == 1
+
+    def test_tight_rel_tol_falls_back_to_exact(
+            self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            response = server.client().evaluate(
+                config=in_domain_dict(tiny_base), exact=False,
+                rel_tol=1e-12)
+        assert response["tier"] == "exact"
+        assert tier_mod.counters()["fallbacks_tolerance"] == pytest.approx(1.0)
+
+    def test_surrogate_counters_exported_in_metrics(
+            self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            client = server.client()
+            client.evaluate(config=in_domain_dict(tiny_base),
+                            exact=False)
+            metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["serve.evaluations_surrogate"] == pytest.approx(1.0)
+        assert counters["surrogate.hits"] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_report_with_approximate_rejected(self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            with pytest.raises(ServeError) as exc:
+                server.client().evaluate(
+                    config=in_domain_dict(tiny_base), exact=False,
+                    report=True)
+            assert exc.value.status == 400
+            assert "report" in exc.value.detail
+
+    def test_rel_tol_with_exact_rejected(self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            with pytest.raises(ServeError) as exc:
+                server.client().request(
+                    "POST", "/evaluate",
+                    {"config": in_domain_dict(tiny_base),
+                     "rel_tol": 0.01})
+            assert exc.value.status == 400
+            assert "rel_tol" in exc.value.detail
+
+    def test_non_positive_rel_tol_rejected(self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            with pytest.raises(ServeError) as exc:
+                server.client().request(
+                    "POST", "/evaluate",
+                    {"config": in_domain_dict(tiny_base),
+                     "exact": False, "rel_tol": -1.0})
+            assert exc.value.status == 400
+
+    def test_non_bool_exact_rejected(self, tiny_tier, tiny_base):
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            with pytest.raises(ServeError) as exc:
+                server.client().request(
+                    "POST", "/evaluate",
+                    {"config": in_domain_dict(tiny_base),
+                     "exact": "yes"})
+            assert exc.value.status == 400

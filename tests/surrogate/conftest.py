@@ -1,0 +1,37 @@
+"""Shared surrogate fixtures: one cheap trained model per test package."""
+
+import dataclasses
+
+import pytest
+
+from repro import surrogate
+
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="package")
+def tiny_base():
+    """The base config the package-shared model is trained on."""
+    return make_tiny_config()
+
+
+@pytest.fixture(scope="package")
+def tiny_model(tiny_base):
+    """One model trained on the tiny config (~1 s, shared read-only)."""
+    return surrogate.train([tiny_base], cache=None)
+
+
+def heldout_point(base):
+    """An in-domain operating point absent from every training grid."""
+    axes = surrogate.heldout_axes(base)
+    return dataclasses.replace(
+        base,
+        clock_hz=axes["clock_hz"][0],
+        temperature_k=axes["temperature_k"][0],
+        vdd_v=axes["vdd_v"][0],
+    )
+
+
+def far_point(base):
+    """A clearly out-of-domain operating point (4x the trained clock)."""
+    return dataclasses.replace(base, clock_hz=base.clock_hz * 4.0)

@@ -1,0 +1,102 @@
+"""Tests for the surrogate tier wired through ``evaluate_many``."""
+
+import pytest
+
+from repro import surrogate
+from repro.engine import EvalCache, evaluate_many
+from repro.surrogate import tier as tier_mod
+
+from tests.conftest import make_tiny_config
+from tests.surrogate.conftest import far_point, heldout_point
+
+
+@pytest.fixture
+def tier(tiny_model):
+    tier_mod.reset_counters()
+    yield surrogate.SurrogateTier(tiny_model)
+    tier_mod.reset_counters()
+
+
+class TestApproximatePath:
+    def test_in_domain_answered_without_touching_cache(
+            self, tier, tiny_base):
+        cache = EvalCache()
+        record, = evaluate_many(
+            [heldout_point(tiny_base)], cache=cache,
+            exact=False, surrogate=tier,
+        )
+        assert record.backend == "surrogate"
+        assert len(cache) == 0  # approximate answers are never stored
+        assert cache.hits == 0
+        assert tier.pending_misses() == 0
+
+    def test_out_of_domain_computed_exactly_and_fed_back(
+            self, tier, tiny_base):
+        cache = EvalCache()
+        point = far_point(tiny_base)
+        record, = evaluate_many(
+            [point], cache=cache, exact=False, surrogate=tier,
+        )
+        assert record.backend != "surrogate"
+        assert cache.misses == 1  # the exact result went in
+        assert tier.pending_misses() == 1
+        # The cached exact record wins over the surrogate on a repeat.
+        again, = evaluate_many(
+            [point], cache=cache, exact=False, surrogate=tier,
+        )
+        assert again.from_cache
+
+    def test_cache_hit_beats_surrogate(self, tier, tiny_base):
+        cache = EvalCache()
+        point = heldout_point(tiny_base)
+        exact_record, = evaluate_many([point], cache=cache)
+        warm, = evaluate_many(
+            [point], cache=cache, exact=False, surrogate=tier,
+        )
+        assert warm.from_cache
+        assert warm.backend != "surrogate"
+        assert warm.area_mm2 == exact_record.area_mm2
+        assert tier_mod.counters()["predictions"] == pytest.approx(0.0)
+
+    def test_tight_tolerance_forces_exact(self, tier, tiny_base):
+        record, = evaluate_many(
+            [heldout_point(tiny_base)], cache=None,
+            exact=False, rel_tol=1e-12, surrogate=tier,
+        )
+        assert record.backend != "surrogate"
+        assert tier_mod.counters()["fallbacks_tolerance"] == pytest.approx(1.0)
+
+    def test_mixed_batch_keeps_input_order(self, tier, tiny_base):
+        inside = heldout_point(tiny_base)
+        outside = far_point(tiny_base)
+        records = evaluate_many(
+            [inside, outside, inside], cache=None,
+            exact=False, surrogate=tier,
+        )
+        assert [r.backend == "surrogate" for r in records] == [
+            True, False, True]
+
+
+class TestExactContract:
+    def test_exact_true_ignores_the_tier(self, tier, tiny_base):
+        baseline, = evaluate_many(
+            [heldout_point(tiny_base)], cache=None)
+        with_tier, = evaluate_many(
+            [heldout_point(tiny_base)], cache=None, surrogate=tier)
+        assert with_tier == baseline
+        assert with_tier.backend != "surrogate"
+        assert tier_mod.counters()["predictions"] == pytest.approx(0.0)
+
+    def test_rel_tol_requires_exact_false(self, tiny_base):
+        with pytest.raises(ValueError, match="exact"):
+            evaluate_many([tiny_base], rel_tol=0.01)
+
+    def test_rel_tol_must_be_positive(self, tiny_base):
+        with pytest.raises(ValueError, match="positive"):
+            evaluate_many([tiny_base], exact=False, rel_tol=0.0)
+
+    def test_exact_false_without_any_tier_degrades(self, monkeypatch):
+        monkeypatch.setattr(tier_mod, "default_tier", lambda: None)
+        record, = evaluate_many(
+            [make_tiny_config()], cache=None, exact=False)
+        assert record.backend != "surrogate"

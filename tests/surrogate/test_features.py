@@ -1,0 +1,79 @@
+"""Tests for the config -> feature-vector encoding."""
+
+import dataclasses
+import math
+
+from repro.surrogate import extract
+from repro.surrogate.features import ABSENT
+from repro.tech import Technology
+from repro.units import ROOM_TEMPERATURE_K
+
+from tests.conftest import make_tiny_config
+
+
+class TestDeterminism:
+    def test_identical_configs_encode_identically(self):
+        first = extract(make_tiny_config())
+        second = extract(make_tiny_config())
+        assert first == second
+
+    def test_names_sorted_and_aligned_with_values(self):
+        vector = extract(make_tiny_config())
+        assert len(vector.names) == len(vector.values)
+        assert list(vector.names) == sorted(vector.names)
+
+    def test_chip_name_is_not_a_feature(self):
+        renamed = make_tiny_config(name="totally-different")
+        assert extract(renamed) == extract(make_tiny_config())
+        assert not any("name" in n.split(".") for n in
+                       extract(renamed).names)
+
+
+class TestPhysicalTransforms:
+    def test_clock_is_log2(self):
+        base = extract(make_tiny_config(clock_hz=1.0e9))
+        doubled = extract(make_tiny_config(clock_hz=2.0e9))
+        idx = base.names.index("clock_hz")
+        assert doubled.values[idx] == base.values[idx] + 1.0
+
+    def test_temperature_is_room_ratio(self):
+        vector = extract(make_tiny_config(temperature_k=330.0))
+        idx = vector.names.index("temperature_k")
+        assert math.isclose(vector.values[idx],
+                            330.0 / ROOM_TEMPERATURE_K)
+
+    def test_default_vdd_encodes_as_explicit_nominal(self):
+        base = make_tiny_config()
+        tech = Technology(
+            node_nm=base.node_nm,
+            temperature_k=base.temperature_k,
+            device_type=base.device_type,
+        )
+        explicit = make_tiny_config(vdd_v=float(tech.vdd))
+        assert extract(base) == extract(explicit)
+
+    def test_absent_optional_component_marked(self):
+        vector = extract(make_tiny_config())  # tiny has l2=None
+        idx = vector.names.index("l2")
+        assert vector.values[idx] == ABSENT
+
+
+class TestSchemaDigest:
+    def test_same_shape_same_schema(self):
+        faster = make_tiny_config(clock_hz=3.0e9)
+        assert extract(faster).schema == extract(make_tiny_config()).schema
+
+    def test_different_shape_different_schema(self):
+        # Adding an optional component (the tiny core has no branch
+        # predictor) changes the flattened feature names, hence the
+        # schema digest.
+        from repro.config.schema import BranchPredictorConfig
+
+        with_bp = make_tiny_config(core=dataclasses.replace(
+            make_tiny_config().core,
+            branch_predictor=BranchPredictorConfig(),
+        ))
+        tiny = extract(make_tiny_config())
+        other = extract(with_bp)
+        assert other.names != tiny.names
+        assert other.schema != tiny.schema

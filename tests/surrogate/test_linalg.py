@@ -1,0 +1,63 @@
+"""Tests for the dependency-free ridge/solve helpers."""
+
+import math
+
+import pytest
+
+from repro.surrogate import linalg
+
+
+@pytest.fixture(params=["auto", "pure"])
+def solver(request, monkeypatch):
+    """Run each test on the default path and the forced pure-Python one."""
+    if request.param == "pure":
+        monkeypatch.setattr(linalg, "get_numpy", lambda: None)
+    return linalg
+
+
+class TestSolve:
+    def test_known_system(self, solver):
+        x = solver.solve([[2.0, 1.0], [1.0, 3.0]], [5.0, 10.0])
+        assert math.isclose(x[0], 1.0, abs_tol=1e-12)
+        assert math.isclose(x[1], 3.0, abs_tol=1e-12)
+
+    def test_permuted_rows_need_pivoting(self, solver):
+        x = solver.solve([[0.0, 1.0], [1.0, 0.0]], [2.0, 7.0])
+        assert x == pytest.approx([7.0, 2.0])
+
+    def test_singular_raises(self, solver):
+        with pytest.raises(ValueError, match="singular"):
+            solver.solve([[1.0, 2.0], [2.0, 4.0]], [1.0, 2.0])
+
+
+class TestRidgeFit:
+    def test_recovers_linear_coefficients(self, solver):
+        # y = 3 + 2*a - b, exactly representable: tiny lam, tiny error.
+        rows = [[1.0, a, b] for a in (0.0, 1.0, 2.0) for b in (0.0, 1.0)]
+        targets = [3.0 + 2.0 * row[1] - row[2] for row in rows]
+        coef = solver.ridge_fit(rows, targets, lam=1e-12)
+        assert coef == pytest.approx([3.0, 2.0, -1.0], abs=1e-6)
+
+    def test_shape_validation(self, solver):
+        with pytest.raises(ValueError, match="at least one"):
+            solver.ridge_fit([], [], lam=0.0)
+        with pytest.raises(ValueError, match="rows"):
+            solver.ridge_fit([[1.0]], [1.0, 2.0], lam=0.0)
+        with pytest.raises(ValueError, match="ragged"):
+            solver.ridge_fit([[1.0, 2.0], [1.0]], [1.0, 2.0], lam=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            solver.ridge_fit([[1.0]], [1.0], lam=-1.0)
+
+    def test_paths_agree_when_numpy_available(self):
+        if linalg.get_numpy() is None:
+            pytest.skip("numpy not installed; only one path exists")
+        rows = [[1.0, float(i), float(i * i)] for i in range(6)]
+        targets = [math.sin(i) for i in range(6)]
+        fast = linalg.ridge_fit(rows, targets, lam=1e-9)
+        original = linalg.get_numpy
+        try:
+            linalg.get_numpy = lambda: None
+            pure = linalg.ridge_fit(rows, targets, lam=1e-9)
+        finally:
+            linalg.get_numpy = original
+        assert pure == pytest.approx(fast, rel=1e-8)

@@ -1,0 +1,127 @@
+"""Tests for the model artifact: domain boxes, round-trips, versioning."""
+
+import json
+import math
+
+import pytest
+
+from repro.surrogate import (
+    FEATURE_SCHEMA_VERSION,
+    MODEL_SCHEMA_VERSION,
+    OUT_OF_DOMAIN,
+    Segment,
+    SurrogateModel,
+    TARGET_METRICS,
+)
+
+from tests.surrogate.conftest import far_point, heldout_point
+
+
+class TestPredict:
+    def test_in_domain_answers_every_metric(self, tiny_model, tiny_base):
+        prediction = tiny_model.predict(heldout_point(tiny_base))
+        assert prediction.in_domain
+        assert prediction.segment == tiny_base.name
+        assert set(prediction.metrics) == set(TARGET_METRICS)
+        assert all(v > 0.0 for v in prediction.metrics.values())
+        assert set(prediction.rel_err_bounds) == set(TARGET_METRICS)
+        assert prediction.rel_err_bound == max(
+            prediction.rel_err_bounds.values())
+
+    def test_training_point_stays_in_domain(self, tiny_model, tiny_base):
+        # Box slack must keep exactly-reproduced training values inside.
+        assert tiny_model.predict(tiny_base).in_domain
+
+    def test_out_of_domain_is_the_sentinel(self, tiny_model, tiny_base):
+        prediction = tiny_model.predict(far_point(tiny_base))
+        assert prediction is OUT_OF_DOMAIN
+        assert not prediction.in_domain
+        assert math.isinf(prediction.rel_err_bound)
+
+    def test_out_of_domain_has_no_record(self, tiny_model, tiny_base):
+        prediction = tiny_model.predict(far_point(tiny_base))
+        with pytest.raises(ValueError, match="fall back"):
+            prediction.to_record("tiny", "key")
+
+    def test_record_is_tagged_surrogate(self, tiny_model, tiny_base):
+        prediction = tiny_model.predict(heldout_point(tiny_base))
+        record = prediction.to_record(tiny_base.name, "some-key")
+        assert record.backend == "surrogate"
+        assert record.key == "some-key"
+        assert record.area_mm2 == prediction.metrics["area_mm2"]
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_predicts_identically(
+            self, tiny_model, tiny_base):
+        clone = SurrogateModel.from_dict(tiny_model.to_dict())
+        point = heldout_point(tiny_base)
+        assert clone.predict(point) == tiny_model.predict(point)
+
+    def test_save_load_round_trip(self, tiny_model, tiny_base, tmp_path):
+        path = tmp_path / "model.json"
+        tiny_model.save(path)
+        clone = SurrogateModel.load(path)
+        point = heldout_point(tiny_base)
+        assert clone.predict(point) == tiny_model.predict(point)
+
+    def test_artifact_is_deterministic(self, tiny_model, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        tiny_model.save(first)
+        tiny_model.save(second)
+        assert first.read_text() == second.read_text()
+
+
+class TestVersioning:
+    def test_wrong_model_version_rejected(self, tiny_model):
+        payload = tiny_model.to_dict()
+        payload["version"] = MODEL_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="not supported"):
+            SurrogateModel.from_dict(payload)
+
+    def test_wrong_encoder_revision_rejected(self, tiny_model):
+        payload = tiny_model.to_dict()
+        payload["feature_schema_version"] = FEATURE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="retrain"):
+            SurrogateModel.from_dict(payload)
+
+    def test_load_rejects_garbage_json(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            SurrogateModel.load(path)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="not a JSON object"):
+            SurrogateModel.load(path)
+
+    def test_load_rejects_missing_fields(self, tiny_model, tmp_path):
+        payload = tiny_model.to_dict()
+        del payload["segments"][0]["scale"]
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="malformed"):
+            SurrogateModel.load(path)
+
+
+class TestSegmentValidation:
+    def test_non_positive_scale_rejected(self, tiny_model):
+        data = tiny_model.segments[0].to_dict()
+        data["scale"] = [0.0] * len(data["scale"])
+        with pytest.raises(ValueError, match="non-positive"):
+            Segment.from_dict(data)
+
+    def test_schema_mismatch_is_out_of_box(self, tiny_model, tiny_base):
+        from repro.surrogate import extract
+
+        vector = extract(heldout_point(tiny_base))
+        segment = tiny_model.segments[0]
+        assert segment.contains(vector)
+        mismatched = type(vector)(
+            names=vector.names,
+            values=vector.values,
+            schema="another-digest",
+        )
+        assert not segment.contains(mismatched)

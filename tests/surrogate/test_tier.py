@@ -1,0 +1,103 @@
+"""Tests for the runtime tier: fallback policy, feedback, counters."""
+
+import pytest
+
+from repro import surrogate
+from repro.obs import metrics as obs_metrics
+from repro.perf import SPLASH2_PROFILES
+from repro.surrogate import tier as tier_mod
+
+from tests.surrogate.conftest import far_point, heldout_point
+
+
+@pytest.fixture
+def tier(tiny_model):
+    tier_mod.reset_counters()
+    yield surrogate.SurrogateTier(tiny_model)
+    tier_mod.reset_counters()
+
+
+class TestFallbackPolicy:
+    def test_in_domain_hit(self, tier, tiny_base):
+        answered = tier.try_predict(heldout_point(tiny_base), key="k1")
+        assert answered is not None
+        record, prediction = answered
+        assert record.backend == "surrogate"
+        assert record.key == "k1"
+        assert prediction.in_domain
+        counts = tier_mod.counters()
+        assert counts["predictions"] == pytest.approx(1.0)
+        assert counts["hits"] == pytest.approx(1.0)
+
+    def test_out_of_domain_falls_back(self, tier, tiny_base):
+        assert tier.try_predict(far_point(tiny_base)) is None
+        assert tier_mod.counters()["fallbacks_domain"] == pytest.approx(1.0)
+
+    def test_tolerance_tighter_than_bound_falls_back(
+            self, tier, tiny_base):
+        point = heldout_point(tiny_base)
+        assert tier.try_predict(point, rel_tol=1e-12) is None
+        assert tier_mod.counters()["fallbacks_tolerance"] == pytest.approx(1.0)
+        # A tolerance looser than the declared bound is accepted.
+        assert tier.try_predict(point, rel_tol=1.0) is not None
+
+    def test_workload_requests_always_fall_back(self, tier, tiny_base):
+        answered = tier.try_predict(
+            heldout_point(tiny_base), workload=SPLASH2_PROFILES["lu"])
+        assert answered is None
+        assert tier_mod.counters()["fallbacks_workload"] == pytest.approx(1.0)
+
+
+class TestMissFeedback:
+    def test_observe_drain_round_trip(self, tier, tiny_base):
+        point = far_point(tiny_base)
+        record = tier.evaluate(point, cache=None)
+        assert record.backend != "surrogate"
+        assert tier.pending_misses() == 1
+        drained = tier.drain_misses()
+        assert tier.pending_misses() == 0
+        assert len(drained) == 1
+        assert drained[0]["record"]["name"] == tiny_base.name
+        assert drained[0]["config"]["clock_hz"] == point.clock_hz
+
+    def test_feedback_buffer_is_bounded(self, tiny_model, tiny_base):
+        bounded = surrogate.SurrogateTier(tiny_model, feedback_limit=2)
+        record = bounded.evaluate(far_point(tiny_base), cache=None)
+        for _ in range(3):
+            bounded.observe_miss(tiny_base, record)
+        assert bounded.pending_misses() == 2
+
+    def test_feedback_limit_validated(self, tiny_model):
+        with pytest.raises(ValueError, match="feedback_limit"):
+            surrogate.SurrogateTier(tiny_model, feedback_limit=0)
+
+
+class TestObservability:
+    def test_counters_flow_into_metrics_snapshot(self, tier, tiny_base):
+        tier.try_predict(heldout_point(tiny_base))
+        snap = obs_metrics.snapshot()
+        assert snap.counter("surrogate.predictions") == pytest.approx(1.0)
+        assert snap.counter("surrogate.hits") == pytest.approx(1.0)
+        bound = snap.counter("surrogate.max_rel_err_bound_served")
+        assert bound == pytest.approx(tier.model.segments[0].rel_err_bound)
+
+
+class TestDefaultTier:
+    def test_packaged_model_loads(self):
+        tier = surrogate.default_tier()
+        assert tier is not None
+        assert len(tier.model.segments) == 4  # the validation presets
+
+    def test_set_default_tier_overrides_and_rearms(self, tiny_model):
+        original = surrogate.default_tier()
+        custom = surrogate.SurrogateTier(tiny_model)
+        try:
+            surrogate.set_default_tier(custom)
+            assert surrogate.default_tier() is custom
+        finally:
+            surrogate.set_default_tier(None)
+        assert surrogate.default_tier() is not custom
+        # Lazy reload after re-arming still serves the packaged model.
+        reloaded = surrogate.default_tier()
+        assert reloaded is not None
+        assert len(reloaded.model.segments) == len(original.model.segments)

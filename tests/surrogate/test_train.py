@@ -1,0 +1,79 @@
+"""Tests for training and the calibration contract."""
+
+import math
+
+import pytest
+
+from repro import surrogate
+from repro.engine.record import evaluate_config
+from repro.surrogate import TARGET_METRICS
+
+from tests.conftest import make_tiny_config
+from tests.surrogate.conftest import heldout_point
+
+
+class TestGrids:
+    def test_heldout_values_disjoint_from_training(self, tiny_base):
+        train_axes = surrogate.default_axes(tiny_base)
+        held_axes = surrogate.heldout_axes(tiny_base)
+        assert set(train_axes) == set(held_axes)
+        for axis, values in held_axes.items():
+            assert not set(values) & set(train_axes[axis])
+
+    def test_heldout_values_interior_to_training_box(self, tiny_base):
+        train_axes = surrogate.default_axes(tiny_base)
+        held_axes = surrogate.heldout_axes(tiny_base)
+        for axis, values in held_axes.items():
+            lo, hi = min(train_axes[axis]), max(train_axes[axis])
+            assert all(lo < v < hi for v in values)
+
+
+class TestTrain:
+    def test_one_segment_per_base(self, tiny_model, tiny_base):
+        assert len(tiny_model.segments) == 1
+        assert tiny_model.segments[0].name == tiny_base.name
+        assert tiny_model.segments[0].n_train == 75  # 5 x 5 x 3 grid
+
+    def test_all_metrics_fitted_with_finite_bounds(self, tiny_model):
+        targets = tiny_model.segments[0].targets
+        assert set(targets) == set(TARGET_METRICS)
+        for fit in targets.values():
+            assert 0.0 < fit.rel_err_bound < 1.0
+            assert fit.rel_err_max <= fit.rel_err_bound
+            assert fit.rel_err_q95 <= fit.rel_err_max
+
+    def test_provenance_recorded(self, tiny_model):
+        assert tiny_model.trained_on["bases"] == ["tiny"]
+        assert tiny_model.trained_on["folds"] >= 2
+
+    def test_needs_at_least_one_base(self):
+        with pytest.raises(ValueError, match="base"):
+            surrogate.train([])
+
+
+class TestCalibration:
+    def test_heldout_error_within_declared_bound(
+            self, tiny_model, tiny_base):
+        check = surrogate.check_calibration(tiny_model, tiny_base)
+        assert check.ok
+        assert check.in_domain == check.n_points
+        assert check.worst_rel_err <= check.bound
+        assert check.q95_rel_err <= check.worst_rel_err
+        assert set(check.per_metric) == set(TARGET_METRICS)
+
+    def test_prediction_close_to_exact_at_heldout_point(
+            self, tiny_model, tiny_base):
+        point = heldout_point(tiny_base)
+        prediction = tiny_model.predict(point)
+        exact = evaluate_config(point)
+        for metric in TARGET_METRICS:
+            truth = getattr(exact, metric)
+            rel_err = abs(prediction.metrics[metric] - truth) / truth
+            assert rel_err <= prediction.rel_err_bounds[metric], metric
+
+    def test_check_serializes(self, tiny_model, tiny_base):
+        check = surrogate.check_calibration(tiny_model, tiny_base)
+        payload = check.to_dict()
+        assert payload["ok"] is True
+        assert payload["base"] == tiny_base.name
+        assert math.isfinite(payload["worst_rel_err"])
