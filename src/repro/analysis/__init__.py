@@ -18,6 +18,12 @@ violation inline with ``# repro: noqa[RULE]``.
 """
 
 from repro.analysis.finding import ALL_RULE_IDS, Finding, RULE_INFO, RULES
+from repro.analysis.registry import (
+    ALL_PASS_NAMES,
+    AnalysisPass,
+    PASSES,
+    SharedAnalysis,
+)
 from repro.analysis.runner import (
     LintResult,
     format_json,
@@ -25,14 +31,20 @@ from repro.analysis.runner import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.sarif import format_sarif
 
 __all__ = [
+    "ALL_PASS_NAMES",
     "ALL_RULE_IDS",
+    "AnalysisPass",
     "Finding",
     "LintResult",
+    "PASSES",
     "RULES",
     "RULE_INFO",
+    "SharedAnalysis",
     "format_json",
+    "format_sarif",
     "format_text",
     "lint_paths",
     "lint_source",

@@ -77,16 +77,21 @@ def analyze_concurrency(
     targets: Iterable[ModuleSource],
     context: Iterable[ModuleSource],
     disable: frozenset[str] = frozenset(),
+    model: ContextModel | None = None,
+    state: StateModel | None = None,
 ) -> dict[str, list[Finding]]:
     """Run the concurrency pass and report findings for ``targets``.
 
     ``context`` is every parsed module the call graph may cross into
     (typically the whole installed package plus the explicit targets);
-    ``targets`` is the subset whose findings the caller wants. Returns
-    a mapping of target path -> sorted findings.
+    ``targets`` is the subset whose findings the caller wants. Pass a
+    prebuilt ``model``/``state`` pair (the registry's shared solve) to
+    skip the per-pass construction. Returns a mapping of target path ->
+    sorted findings.
     """
     target_list = list(targets)
-    model, state = build_concurrency_model(context)
+    if model is None or state is None:
+        model, state = build_concurrency_model(context)
     findings = run_rules(model, state, disable)
     results: dict[str, list[Finding]] = {
         source.path: [] for source in target_list

@@ -180,6 +180,10 @@ class ContextModel:
     field_types: dict[tuple[str, str], str] = field(default_factory=dict)
     #: (module_qual, name) -> element type of an annotated container.
     elem_types: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: project-decorator qualname -> nodes decorated with it, so the
+    #: analyses can resolve wrapper-internal calls of the bound callable
+    #: parameter back to the real decorated functions.
+    decorator_bindings: dict[str, list[Node]] = field(default_factory=dict)
     passes: int = 0
 
     def contexts(self, node: Node) -> frozenset[str]:
@@ -519,6 +523,12 @@ class _FunctionScanner:
             left, _ = self._resolve_callable(expr.body)
             right, _ = self._resolve_callable(expr.orelse)
             return left + right, None
+        if isinstance(expr, ast.Call) and expr.args:
+            # ``functools.partial(fn, ...)`` call sites: the partial
+            # object runs ``fn``, so resolve through to it.
+            chain = dotted_chain(expr.func, self.node.module)
+            if chain is not None and chain.rsplit(".", 1)[-1] == "partial":
+                return self._resolve_callable(expr.args[0])
         return [], None
 
     def _lambda_node(self, expr: ast.Lambda) -> Node:
@@ -701,7 +711,8 @@ class _FunctionScanner:
 
     def _note_callable_arg(self, callee: Node, param: str,
                            arg: ast.expr, call: ast.Call) -> None:
-        if not isinstance(arg, (ast.Lambda, ast.Name, ast.Attribute)):
+        if not isinstance(arg, (ast.Lambda, ast.Name, ast.Attribute,
+                                ast.Call)):
             return
         candidates, caller_param = self._resolve_callable(arg)
         funcish = [
@@ -715,6 +726,75 @@ class _FunctionScanner:
             candidates=tuple(funcish),
             caller_param=caller_param, line=call.lineno,
         ))
+
+
+def _bind_decorators(model: ContextModel) -> None:
+    """Resolve project decorators (``functools.wraps``-style wrappers).
+
+    ``@memoized def solve(...)`` binds ``solve`` to the decorator's
+    first parameter; the wrapper closure then calls that parameter.
+    Without this pass the wrapped function escapes every whole-program
+    walk: the wrapper's ``fn(*args)`` resolves to nothing. Here every
+    decorated function is (a) recorded in ``decorator_bindings`` for
+    the keysound pass, (b) registered as a callable bound to the
+    decorator's first parameter (so escape facts propagate), and (c)
+    wired with real call edges from each wrapper-scope call of the
+    parameter, so context and effect propagation reach it.
+    """
+    project = model.project
+    for fn in project.functions.values():
+        node = model.nodes.get(fn.qualname)
+        if node is None:
+            continue
+        for dec in fn.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dec_qual: str | None = None
+            if isinstance(target, ast.Name):
+                imported = node.module.imports.get(target.id)
+                if imported is not None and imported[0] == "symbol":
+                    dec_qual = imported[1]
+                else:
+                    dec_qual = f"{node.module.qualname}.{target.id}"
+            elif isinstance(target, ast.Attribute):
+                dec_qual = dotted_chain(target, node.module)
+            if dec_qual is None:
+                continue
+            dec_node = model.nodes.get(dec_qual)
+            if dec_node is None or not dec_node.params:
+                continue
+            model.decorator_bindings.setdefault(
+                dec_node.qualname, [],
+            ).append(node)
+            dec_node.callable_args.append(CallableArg(
+                callee=dec_node, param=dec_node.params[0],
+                candidates=(node,), caller_param=None,
+                line=fn.node.lineno,
+            ))
+    # Wrapper-scope calls of the bound parameter become real edges to
+    # every decorated function.
+    all_nodes = list(model.nodes.values()) + list(model.lambda_nodes)
+    for dec_qual, bound in model.decorator_bindings.items():
+        dec_node = model.nodes.get(dec_qual)
+        if dec_node is None:
+            continue
+        param = dec_node.params[0]
+        prefix = dec_qual + "."
+        scoped = [dec_node] + [
+            n for n in all_nodes if n.qualname.startswith(prefix)
+        ]
+        for wrapper in scoped:
+            body = wrapper.body
+            statements = body if isinstance(body, list) \
+                else [ast.Expr(body)]
+            for item in iter_own_statements(statements):
+                if isinstance(item, ast.Call) and isinstance(
+                    item.func, ast.Name
+                ) and item.func.id == param:
+                    for target in bound:
+                        target.in_degree += 1
+                        wrapper.calls.append(CallEdge(
+                            callee=target, line=item.lineno,
+                        ))
 
 
 def _scan_module_atfork(model: ContextModel) -> None:
@@ -867,6 +947,7 @@ def build_contexts(project: Project) -> ContextModel:
                 (qual + ":escape", param),
                 f"hands '{param}' to a {context} spawn",
             )
+    _bind_decorators(model)
     _scan_module_atfork(model)
     _seed(model)
     solve_contexts(model)

@@ -59,16 +59,20 @@ __all__ = [
 def analyze_dimensions(
     targets: Iterable[ModuleSource],
     context: Iterable[ModuleSource],
+    project: Project | None = None,
 ) -> dict[str, list[Finding]]:
     """Run the dimensional pass and report findings for ``targets``.
 
     ``context`` is every parsed module the call graph may cross into
     (typically the whole installed package plus the explicit targets);
-    ``targets`` is the subset whose findings the caller wants. Returns
-    a mapping of target path -> sorted findings.
+    ``targets`` is the subset whose findings the caller wants. Pass a
+    prebuilt ``project`` (the registry's shared call graph) to skip the
+    collection pre-pass. Returns a mapping of target path -> sorted
+    findings.
     """
     target_list = list(targets)
-    project = build_project(list(context))
+    if project is None:
+        project = build_project(list(context))
     solve_fixpoint(project)
     results: dict[str, list[Finding]] = {}
     for source in target_list:

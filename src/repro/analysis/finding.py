@@ -170,6 +170,43 @@ RULE_INFO: tuple[RuleInfo, ...] = (
         "attach to a state definition, and name a lock in scope",
     ),
     RuleInfo(
+        "KEY001",
+        "cache-key-missing-read",
+        "every value a memoized computation transitively reads (module "
+        "globals, closure cells, mutable defaults) must flow into its "
+        "cache key, or carry a reasoned '# repro: key-exempt' or "
+        "'# repro: keyed-by' declaration — a missed read serves stale "
+        "physics",
+    ),
+    RuleInfo(
+        "KEY002",
+        "cache-key-overkeyed",
+        "a cache key must not hash values the computation never reads: "
+        "over-keying silently splits identical computations across "
+        "distinct entries and kills hit rates",
+    ),
+    RuleInfo(
+        "DET001",
+        "nondeterministic-cached-computation",
+        "no nondeterministic source (time, rng, os.environ, file reads, "
+        "hash(), iteration order of unsorted sets) may be reachable "
+        "from a cached computation or a key-derivation function",
+    ),
+    RuleInfo(
+        "DET002",
+        "cached-computation-foreign-mutation",
+        "a cached computation must not transitively mutate state "
+        "outside its own frame (module globals, shared instance "
+        "fields) — generalizing CP003 across calls",
+    ),
+    RuleInfo(
+        "KEYNOTE",
+        "key-annotation-malformed",
+        "# repro: keyed-by[names] / key-exempt[name: reason] comments "
+        "must parse, attach to a memo site or a module-global "
+        "definition, and carry a non-empty reason for exemptions",
+    ),
+    RuleInfo(
         "LINT001",
         "unused-suppression",
         "a '# repro: noqa[...]' comment must suppress at least one "
@@ -184,13 +221,13 @@ RULE_INFO: tuple[RuleInfo, ...] = (
     ),
 )
 
-#: Rules produced by the interprocedural dimensional pass (``lint
-#: --dimensional``), the concurrency pass (``lint --concurrency``), or
-#: the driver itself rather than by a per-module check function in
-#: :mod:`repro.analysis.rules`.
+#: Rules produced by the interprocedural passes (``lint --dimensional``
+#: / ``--concurrency`` / ``--keysound``) or the driver itself rather
+#: than by a per-module check function in :mod:`repro.analysis.rules`.
 DRIVER_RULE_IDS: frozenset[str] = frozenset({
     "DIM001", "DIM002", "DIM003", "DIM004", "DIMNOTE",
     "CONC001", "CONC002", "CONC003", "CONC004", "CONCNOTE",
+    "KEY001", "KEY002", "DET001", "DET002", "KEYNOTE",
     "LINT001", "IO001",
 })
 
@@ -202,6 +239,9 @@ DIM_RULE_IDS: frozenset[str] = frozenset({
 })
 CONC_RULE_IDS: frozenset[str] = frozenset({
     "CONC001", "CONC002", "CONC003", "CONC004", "CONCNOTE",
+})
+KEY_RULE_IDS: frozenset[str] = frozenset({
+    "KEY001", "KEY002", "DET001", "DET002", "KEYNOTE",
 })
 
 #: Rule id -> metadata.

@@ -1,0 +1,201 @@
+"""Whole-program cache-key soundness & determinism analysis (KEY/DET).
+
+The reproduction answers through five caching layers (fastpath memos,
+the persistent EvalCache, the batch compile memo, the surrogate tier,
+and the serve process-wide cache); a single memoized function that
+reads state *not* captured in its key silently serves stale physics —
+the worst failure mode for a model whose contract is that the same
+config always yields the same report. This pass makes the guarantee
+whole-program:
+
+* **KEY001** — the computation behind a memoization site transitively
+  reads mutable state that is absent from the key derivation;
+* **KEY002** — the key hashes values the computation never reads
+  (over-keying that silently splits identical results across entries);
+* **DET001** — a nondeterministic source (time, rng, env, file reads,
+  unsorted-set iteration) is reachable from a cached computation or a
+  key-derivation function;
+* **DET002** — a cached computation transitively mutates state outside
+  its own frame (generalizing CP003 across calls);
+* **KEYNOTE** — malformed or unattached ``# repro: keyed-by[...]`` /
+  ``# repro: key-exempt[name: reason]`` declarations.
+
+The pass reuses the concurrency substrate — the shared project call
+graph, the solved :class:`~repro.analysis.concurrency.contexts
+.ContextModel` (with decorator/partial resolution) and the
+:class:`~repro.analysis.concurrency.state.StateModel` access table —
+so a ``lint --all`` run builds each structure exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.concurrency.contexts import ContextModel
+from repro.analysis.concurrency.state import StateKey, StateModel
+from repro.analysis.context import ModuleSource
+from repro.analysis.finding import Finding
+from repro.analysis.keysound.comments import (
+    KeyComments,
+    parse_key_comments,
+)
+from repro.analysis.keysound.effects import (
+    EffectModel,
+    is_neutral,
+    mutable_state_keys,
+    solve_effects,
+)
+from repro.analysis.keysound.rules import KEY_DERIVATION, run_rules
+from repro.analysis.keysound.sites import MemoSite, discover_sites
+
+__all__ = [
+    "EffectModel",
+    "KEY_DERIVATION",
+    "KeyComments",
+    "MemoSite",
+    "analyze_keysound",
+    "build_keysound_model",
+    "discover_sites",
+    "is_neutral",
+    "parse_key_comments",
+    "solve_effects",
+]
+
+
+def _bind_comments(
+    model: ContextModel,
+    sites: list[MemoSite],
+    sources: dict[str, str],
+) -> tuple[dict[StateKey, str], list[Finding]]:
+    """Attach declarations to sites and global definitions.
+
+    Returns the project-wide definition-site exemptions plus the
+    KEYNOTE findings for malformed or unattached declarations.
+    """
+    global_exempt: dict[StateKey, str] = {}
+    notes: list[Finding] = []
+    by_path: dict[str, list[MemoSite]] = {}
+    for site in sites:
+        by_path.setdefault(site.path, []).append(site)
+    for info in model.project.by_qual.values():
+        text = sources.get(info.path)
+        if text is None:
+            continue
+        comments = parse_key_comments(text)
+        for line, message in comments.errors:
+            notes.append(Finding(
+                path=info.path, line=line, col=0, rule="KEYNOTE",
+                message=message,
+            ))
+        if not comments.keyed_by and not comments.exempt:
+            continue
+        claimed: set[int] = set()
+        # Memo sites claim declarations on their statement lines.
+        for site in by_path.get(info.path, []):
+            keyed, exempt, taken = comments.in_range(
+                site.line, site.end_line,
+            )
+            site.keyed_by |= keyed
+            site.exempt.update(exempt)
+            claimed |= taken
+        # Module-global definitions claim key-exempt project-wide.
+        for stmt in info.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            names = [
+                target.id for target in targets
+                if isinstance(target, ast.Name)
+            ]
+            if not names:
+                continue
+            first = stmt.lineno
+            last = stmt.end_lineno or stmt.lineno
+            for line in range(first, last + 1):
+                for name, reason in comments.exempt.get(line, {}).items():
+                    if name in names:
+                        global_exempt[
+                            ("global", info.qualname, name)
+                        ] = reason
+                        claimed.add(line)
+                if line in comments.keyed_by and line not in claimed:
+                    notes.append(Finding(
+                        path=info.path, line=line, col=0, rule="KEYNOTE",
+                        message=(
+                            "keyed-by attaches to a memoization site, "
+                            "not a definition; use key-exempt[name: "
+                            "reason] to exempt a global"
+                        ),
+                    ))
+                    claimed.add(line)
+        for line in sorted(
+            set(comments.keyed_by) | set(comments.exempt),
+        ):
+            if line not in claimed:
+                notes.append(Finding(
+                    path=info.path, line=line, col=0, rule="KEYNOTE",
+                    message=(
+                        "key declaration is not attached to a "
+                        "memoization site or a module-global "
+                        "definition"
+                    ),
+                ))
+    return global_exempt, notes
+
+
+def build_keysound_model(
+    model: ContextModel,
+    state: StateModel,
+    sources: dict[str, str],
+) -> tuple[list[MemoSite], EffectModel, dict[StateKey, str],
+           list[Finding]]:
+    """Solve sites/effects/declarations for a prepared context model.
+
+    Exposed for the meta-suite, which asserts on the discovered sites
+    and inferred effects directly in addition to the emitted findings.
+    """
+    sites = discover_sites(model)
+    effects = solve_effects(model, state)
+    global_exempt, notes = _bind_comments(model, sites, sources)
+    return sites, effects, global_exempt, notes
+
+
+def analyze_keysound(
+    targets: Iterable[ModuleSource],
+    model: ContextModel,
+    state: StateModel,
+    sources: dict[str, str] | None = None,
+    disabled: frozenset[str] = frozenset(),
+) -> dict[str, list[Finding]]:
+    """Run the keysound pass and report findings for ``targets``.
+
+    ``model``/``state`` are the shared concurrency structures (built
+    once per lint invocation by the registry); ``sources`` maps every
+    project module path to its text for the declaration grammar.
+    Returns a mapping of target path -> sorted findings.
+    """
+    target_list = list(targets)
+    if sources is None:
+        sources = {
+            info.path: "" for info in model.project.by_qual.values()
+        }
+    sites, effects, global_exempt, notes = build_keysound_model(
+        model, state, sources,
+    )
+    mutable = mutable_state_keys(state)
+    findings = run_rules(
+        sites, effects, state, model, mutable, global_exempt,
+        notes, disabled,
+    )
+    results: dict[str, list[Finding]] = {
+        source.path: [] for source in target_list
+    }
+    for finding in findings:
+        if finding.path in results:
+            results[finding.path].append(finding)
+    return {path: sorted(found) for path, found in results.items()}

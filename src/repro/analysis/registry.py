@@ -1,0 +1,321 @@
+"""Unified multi-pass analysis registry.
+
+Four analysis passes ship with the tree — the per-module ``base`` lint
+(CP/NUM/UNIT/SPEC rules), the interprocedural ``dimensional`` and
+``concurrency`` passes, and the ``keysound`` cache-key soundness pass.
+Before this registry each whole-program pass built its own project call
+graph from scratch; a ``lint --all`` invocation therefore paid the
+collection + fixpoint cost once *per pass*. The registry fixes the
+shape:
+
+* :class:`AnalysisPass` is the one pass interface — a name, the rule
+  ids it can produce, a ``needs_callgraph`` flag, and a uniform run
+  callable ``(targets, shared, disabled) -> {path: [Finding]}``;
+* :class:`SharedAnalysis` owns every cross-pass structure — the parsed
+  module list, the purity :class:`~repro.analysis.context.ProjectIndex`,
+  the :class:`~repro.analysis.dimensional.callgraph.Project` symbol
+  tables, and the concurrency :class:`ContextModel`/:class:`StateModel`
+  pair (which the keysound pass reuses) — each built **once** per lint
+  invocation and handed to every pass that wants it;
+* :func:`run_passes` dispatches the enabled passes, optionally in
+  parallel threads (``lint --all --jobs``), and reports per-pass
+  wall-clock timings for the JSON output.
+
+Thread-safety: shared structures are built eagerly by
+:meth:`SharedAnalysis.prepare` before any pass thread starts, so the
+pass bodies only ever *read* them concurrently. The one exception is
+the dimensional fixpoint, which accumulates inferred facts onto the
+shared ``Project``'s fact slots; no other pass reads those slots, so
+the mutation is private to that pass by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.context import ModuleSource, ProjectIndex, build_index
+from repro.analysis.finding import (
+    CONC_RULE_IDS,
+    DIM_RULE_IDS,
+    KEY_RULE_IDS,
+    Finding,
+)
+
+#: Uniform pass entry point: findings for the target modules, keyed by
+#: target path. ``disabled`` lets a pass skip expensive sub-analyses
+#: whose rules the caller turned off.
+PassRunner = Callable[
+    [list[ModuleSource], "SharedAnalysis", frozenset[str]],
+    dict[str, list[Finding]],
+]
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """Registry metadata + entry point for one analysis pass.
+
+    Attributes:
+        name: Stable pass name (``"base"``, ``"dimensional"``, ...),
+            surfaced in the JSON ``passes``/``timings`` output and in
+            CLI flags.
+        rule_ids: Every rule id this pass can produce — the LINT001
+            staleness check only judges suppressions of rules whose
+            pass actually ran.
+        needs_callgraph: Whether the pass consumes the shared
+            whole-program call graph (the runner builds it once before
+            dispatching any such pass).
+        description: One-line summary for docs and ``--help``.
+        run: The pass body.
+    """
+
+    name: str
+    rule_ids: frozenset[str]
+    needs_callgraph: bool
+    description: str
+    run: PassRunner
+
+
+class SharedAnalysis:
+    """Cross-pass structures, each built once per lint invocation.
+
+    Layers are lazy behind one re-entrant lock so a stray out-of-order
+    access stays correct, but :meth:`prepare` builds everything the
+    enabled passes will need *before* parallel dispatch — pass threads
+    then only read.
+    """
+
+    def __init__(self, context: Iterable[ModuleSource]) -> None:
+        self.context: list[ModuleSource] = list(context)
+        self._lock = threading.RLock()
+        self._index: ProjectIndex | None = None
+        self._project = None
+        self._conc_model = None
+        self._conc_state = None
+
+    @property
+    def sources(self) -> dict[str, str]:
+        """Module path -> source text, for comment-grammar scanners."""
+        return {module.path: module.source for module in self.context}
+
+    def index(self) -> ProjectIndex:
+        """The purity rules' memoization index (base pass)."""
+        with self._lock:
+            if self._index is None:
+                self._index = build_index(self.context)
+            return self._index
+
+    def project(self):
+        """The whole-program symbol tables (shared call graph)."""
+        with self._lock:
+            if self._project is None:
+                from repro.analysis.dimensional.callgraph import (
+                    build_project,
+                )
+
+                self._project = build_project(self.context)
+            return self._project
+
+    def concurrency_model(self):
+        """The solved (ContextModel, StateModel) pair.
+
+        Built on top of :meth:`project`; consumed by both the
+        concurrency and the keysound passes.
+        """
+        with self._lock:
+            if self._conc_model is None:
+                from repro.analysis.concurrency.contexts import (
+                    build_contexts,
+                )
+                from repro.analysis.concurrency.state import build_state
+
+                self._conc_model = build_contexts(self.project())
+                self._conc_state = build_state(
+                    self._conc_model, self.sources,
+                )
+            return self._conc_model, self._conc_state
+
+    def prepare(self, passes: Iterable[AnalysisPass]) -> None:
+        """Eagerly build every layer the given passes need."""
+        passes = list(passes)
+        self.index()
+        if any(p.needs_callgraph for p in passes):
+            self.project()
+        if any(p.name in ("concurrency", "keysound") for p in passes):
+            self.concurrency_model()
+
+
+# -- pass bodies ---------------------------------------------------------
+
+
+def _run_base(
+    targets: list[ModuleSource],
+    shared: SharedAnalysis,
+    disabled: frozenset[str],
+) -> dict[str, list[Finding]]:
+    from repro.analysis.rules import CHECKS
+
+    index = shared.index()
+    results: dict[str, list[Finding]] = {}
+    for module in targets:
+        results[module.path] = [
+            finding
+            for rule_id, check in CHECKS.items()
+            if rule_id not in disabled
+            for finding in check(module, index)
+        ]
+    return results
+
+
+def _run_dimensional(
+    targets: list[ModuleSource],
+    shared: SharedAnalysis,
+    disabled: frozenset[str],
+) -> dict[str, list[Finding]]:
+    from repro.analysis.dimensional import analyze_dimensions
+
+    return analyze_dimensions(
+        targets, shared.context, project=shared.project(),
+    )
+
+
+def _run_concurrency(
+    targets: list[ModuleSource],
+    shared: SharedAnalysis,
+    disabled: frozenset[str],
+) -> dict[str, list[Finding]]:
+    from repro.analysis.concurrency import analyze_concurrency
+
+    model, state = shared.concurrency_model()
+    return analyze_concurrency(
+        targets, shared.context, disabled, model=model, state=state,
+    )
+
+
+def _run_keysound(
+    targets: list[ModuleSource],
+    shared: SharedAnalysis,
+    disabled: frozenset[str],
+) -> dict[str, list[Finding]]:
+    from repro.analysis.keysound import analyze_keysound
+
+    model, state = shared.concurrency_model()
+    return analyze_keysound(
+        targets, model=model, state=state, sources=shared.sources,
+        disabled=disabled,
+    )
+
+
+#: Every registered pass, in canonical run/report order. ``base``
+#: always runs; the others are opt-in via CLI flags (``--all`` enables
+#: everything).
+PASSES: dict[str, AnalysisPass] = {
+    "base": AnalysisPass(
+        name="base",
+        rule_ids=frozenset({
+            "CP001", "CP002", "CP003", "NUM001", "NUM002", "NUM003",
+            "SPEC001", "UNIT001",
+        }),
+        needs_callgraph=False,
+        description="per-module cache-purity, numeric, units lints",
+        run=_run_base,
+    ),
+    "dimensional": AnalysisPass(
+        name="dimensional",
+        rule_ids=DIM_RULE_IDS,
+        needs_callgraph=True,
+        description="whole-program physical-dimension inference",
+        run=_run_dimensional,
+    ),
+    "concurrency": AnalysisPass(
+        name="concurrency",
+        rule_ids=CONC_RULE_IDS,
+        needs_callgraph=True,
+        description="whole-program concurrency-safety analysis",
+        run=_run_concurrency,
+    ),
+    "keysound": AnalysisPass(
+        name="keysound",
+        rule_ids=KEY_RULE_IDS,
+        needs_callgraph=True,
+        description="whole-program cache-key soundness & determinism",
+        run=_run_keysound,
+    ),
+}
+
+#: Passes whose combined rule set covers everything — a blanket noqa
+#: can only be proven stale when all of them ran.
+ALL_PASS_NAMES: tuple[str, ...] = tuple(PASSES)
+
+
+def resolve_passes(
+    dimensional: bool = False,
+    concurrency: bool = False,
+    keysound: bool = False,
+) -> tuple[AnalysisPass, ...]:
+    """The enabled passes, in canonical order (``base`` always first)."""
+    enabled = [PASSES["base"]]
+    if dimensional:
+        enabled.append(PASSES["dimensional"])
+    if concurrency:
+        enabled.append(PASSES["concurrency"])
+    if keysound:
+        enabled.append(PASSES["keysound"])
+    return tuple(enabled)
+
+
+def default_jobs(passes: Iterable[AnalysisPass]) -> int:
+    """Default ``--jobs``: one thread per enabled pass, capped at cpus."""
+    import os
+
+    count = len(list(passes))
+    return max(1, min(count, os.cpu_count() or 1))
+
+
+def run_passes(
+    passes: tuple[AnalysisPass, ...],
+    targets: list[ModuleSource],
+    shared: SharedAnalysis,
+    disabled: frozenset[str],
+    jobs: int | None = None,
+) -> tuple[dict[str, list[Finding]], tuple[tuple[str, float], ...]]:
+    """Run every enabled pass; findings merged per path + timings.
+
+    With ``jobs > 1`` the pass bodies run on a thread pool; the shared
+    structures were built by :meth:`SharedAnalysis.prepare` up front, so
+    the threads never contend on construction. Timings are wall-clock
+    seconds per pass, in pass order.
+    """
+    shared.prepare(passes)
+    jobs = default_jobs(passes) if jobs is None else max(1, jobs)
+
+    def timed(one: AnalysisPass) -> tuple[
+        str, float, dict[str, list[Finding]],
+    ]:
+        started = time.perf_counter()
+        findings = one.run(targets, shared, disabled)
+        return one.name, time.perf_counter() - started, findings
+
+    if jobs == 1 or len(passes) == 1:
+        outcomes = [timed(one) for one in passes]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(passes)),
+            thread_name_prefix="lint-pass",
+        ) as pool:
+            outcomes = list(pool.map(timed, passes))
+
+    merged: dict[str, list[Finding]] = {}
+    timings: list[tuple[str, float]] = []
+    for name, elapsed, findings in outcomes:
+        timings.append((name, elapsed))
+        for path, found in findings.items():
+            merged.setdefault(path, [])
+            merged[path] += [
+                finding for finding in found
+                if finding.rule not in disabled
+            ]
+    return merged, tuple(timings)

@@ -1,10 +1,10 @@
-"""Lint driver: file discovery, index pre-pass, rule dispatch, output.
+"""Lint driver: file discovery, shared pre-passes, pass dispatch, output.
 
-The driver is two passes. Pass one parses every target file *plus* the
-installed ``repro`` package and builds the :class:`ProjectIndex`, so a
-call site in ``tests/`` mutating the return of the memoized
-``build_array`` is flagged even though the memo lives in ``src/``. Pass
-two runs each enabled rule over each target module and filters the
+The driver parses every target file *plus* the installed ``repro``
+package, builds the cross-pass structures once through
+:class:`~repro.analysis.registry.SharedAnalysis` (purity index, project
+call graph, concurrency model), dispatches the enabled analysis passes
+(optionally in parallel — ``lint --all --jobs``), and filters the merged
 findings through the inline-suppression table.
 
 Two pseudo-rules can appear in output and are never suppressible:
@@ -20,19 +20,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis.context import ModuleSource, ProjectIndex, build_index
-from repro.analysis.finding import (
-    ALL_RULE_IDS,
-    CONC_RULE_IDS,
-    DIM_RULE_IDS,
-    Finding,
-)
+from repro.analysis.context import ModuleSource, ProjectIndex
+from repro.analysis.finding import ALL_RULE_IDS, Finding
 from repro.analysis.noqa import parse_suppressions
-from repro.analysis.rules import CHECKS
+from repro.analysis.registry import (
+    PASSES,
+    SharedAnalysis,
+    resolve_passes,
+    run_passes,
+)
 
 #: JSON output schema version (``--format json``). Version 2 added the
-#: ``passes`` list and the merged-pass findings (CONC/LINT rules).
-JSON_SCHEMA_VERSION = 2
+#: ``passes`` list and the merged-pass findings (CONC/LINT rules);
+#: version 3 added per-pass ``timings`` and the keysound pass
+#: (KEY/DET rules).
+JSON_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -44,13 +46,15 @@ class LintResult:
         suppressed: Count of findings silenced by noqa comments.
         files_checked: Number of target files analyzed.
         passes: Analysis passes that ran (``base`` always; plus
-            ``dimensional`` and/or ``concurrency``).
+            ``dimensional``, ``concurrency``, and/or ``keysound``).
+        timings: Wall-clock seconds per pass, in pass order.
     """
 
     findings: tuple[Finding, ...] = ()
     suppressed: int = 0
     files_checked: int = 0
     passes: tuple[str, ...] = ("base",)
+    timings: tuple[tuple[str, float], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -127,26 +131,27 @@ def validate_disable(disable: Iterable[str]) -> frozenset[str]:
 
 def _active_rules(passes: tuple[str, ...]) -> frozenset[str]:
     """Rule ids the given passes can produce (for LINT001 staleness)."""
-    active = set(ALL_RULE_IDS)
-    if "dimensional" not in passes:
-        active -= DIM_RULE_IDS
-    if "concurrency" not in passes:
-        active -= CONC_RULE_IDS
+    active = {"LINT001", "IO001", "SYNTAX", "NOQA"}
+    for name in passes:
+        registered = PASSES.get(name)
+        if registered is not None:
+            active |= registered.rule_ids
     return frozenset(active)
 
 
-def _lint_modules(
+def _filter_findings(
     targets: list[ModuleSource],
     parse_failures: list[Finding],
     disable: frozenset[str],
-    index: ProjectIndex,
-    extra: dict[str, list[Finding]] | None = None,
+    extra: dict[str, list[Finding]],
     passes: tuple[str, ...] = ("base",),
+    timings: tuple[tuple[str, float], ...] = (),
 ) -> LintResult:
+    """Apply noqa suppression + LINT001 hygiene to the merged findings."""
     findings: list[Finding] = list(parse_failures)
     suppressed = 0
-    extra = extra or {}
     active = _active_rules(passes)
+    full_run = all(name in passes for name in PASSES)
     for module in targets:
         suppressions = parse_suppressions(module.source, ALL_RULE_IDS)
         for lineno, token in suppressions.unknown:
@@ -155,12 +160,6 @@ def _lint_modules(
                 f"suppression names unknown rule {token!r}",
             ))
         module_findings = [
-            finding
-            for rule_id, check in CHECKS.items()
-            if rule_id not in disable
-            for finding in check(module, index)
-        ]
-        module_findings += [
             finding for finding in extra.get(module.path, [])
             if finding.rule not in disable
         ]
@@ -194,8 +193,9 @@ def _lint_modules(
                         f"suppression '# repro: noqa[{rule}]' silences "
                         f"no {rule} finding on this line; remove it",
                     ), False))
-        if "dimensional" in passes and "concurrency" in passes:
-            # Only a full run can prove a blanket noqa dead.
+        if full_run:
+            # Only a full run (every registered pass) can prove a
+            # blanket noqa dead.
             for line in sorted(suppressions.blanket_lines):
                 if line not in used_blanket:
                     stale.append((Finding(
@@ -222,18 +222,8 @@ def _lint_modules(
         suppressed=suppressed,
         files_checked=len(targets) + len(parse_failures),
         passes=passes,
+        timings=timings,
     )
-
-
-def _merge_extra(
-    extra: dict[str, list[Finding]] | None,
-    more: dict[str, list[Finding]],
-) -> dict[str, list[Finding]]:
-    merged = dict(extra or {})
-    for path, findings in more.items():
-        merged.setdefault(path, [])
-        merged[path] = merged[path] + findings
-    return merged
 
 
 def lint_paths(
@@ -241,15 +231,19 @@ def lint_paths(
     disable: Iterable[str] = (),
     dimensional: bool = False,
     concurrency: bool = False,
+    keysound: bool = False,
+    jobs: int | None = None,
 ) -> LintResult:
     """Lint files/directories; the main entry point behind the CLI.
 
-    With ``dimensional=True`` the interprocedural dimension-inference
-    pass also runs: the call graph spans every indexed module (targets
-    plus the installed package) and DIM/DIMNOTE findings are reported
-    for the targets. With ``concurrency=True`` the concurrency-safety
-    pass runs over the same call graph and reports CONC/CONCNOTE
-    findings. Enabling both is ``mcpat-repro lint --all``.
+    The ``base`` pass always runs. ``dimensional=True`` adds the
+    interprocedural dimension-inference pass (DIM rules),
+    ``concurrency=True`` the concurrency-safety pass (CONC rules), and
+    ``keysound=True`` the cache-key soundness pass (KEY/DET rules); all
+    whole-program passes share one call graph built once per
+    invocation. Enabling everything is ``mcpat-repro lint --all``;
+    ``jobs`` runs the enabled passes on that many threads (default: one
+    per pass, capped at the cpu count).
     """
     disabled = validate_disable(disable)
     files = iter_python_files(paths)
@@ -266,24 +260,12 @@ def lint_paths(
     }
     for module in targets:
         indexed[str(Path(module.path).resolve())] = module
-    context = list(indexed.values())
-    index = build_index(context)
-    extra: dict[str, list[Finding]] | None = None
-    passes: tuple[str, ...] = ("base",)
-    if dimensional:
-        from repro.analysis.dimensional import analyze_dimensions
-
-        extra = _merge_extra(extra, analyze_dimensions(targets, context))
-        passes = passes + ("dimensional",)
-    if concurrency:
-        from repro.analysis.concurrency import analyze_concurrency
-
-        extra = _merge_extra(
-            extra, analyze_concurrency(targets, context, disabled),
-        )
-        passes = passes + ("concurrency",)
-    return _lint_modules(
-        targets, parse_failures, disabled, index, extra, passes,
+    shared = SharedAnalysis(indexed.values())
+    passes = resolve_passes(dimensional, concurrency, keysound)
+    extra, timings = run_passes(passes, targets, shared, disabled, jobs)
+    return _filter_findings(
+        targets, parse_failures, disabled, extra,
+        tuple(one.name for one in passes), timings,
     )
 
 
@@ -294,15 +276,15 @@ def lint_source(
     index: ProjectIndex | None = None,
     dimensional: bool = False,
     concurrency: bool = False,
+    keysound: bool = False,
 ) -> LintResult:
     """Lint one in-memory module (test fixtures, tooling).
 
-    When ``index`` is omitted the snippet is self-indexing: its own
-    memoization facts are collected, but the wider package is not
-    consulted. ``dimensional=True`` runs the dimension-inference pass
-    over the snippet alone (cross-module facts still resolve through
-    the :mod:`repro.units` seed table); ``concurrency=True`` does the
-    same for the concurrency-safety pass.
+    The snippet is self-indexing: its own memoization facts are
+    collected, but the wider package is not consulted. The
+    interprocedural passes (``dimensional`` / ``concurrency`` /
+    ``keysound``) run over the snippet alone; cross-module facts still
+    resolve through their seed tables.
     """
     disabled = validate_disable(disable)
     try:
@@ -312,25 +294,17 @@ def lint_source(
             path, exc.lineno or 1, (exc.offset or 1) - 1, "SYNTAX",
             f"file does not parse: {exc.msg}",
         )
-        return _lint_modules([], [failure], disabled, ProjectIndex())
+        return _filter_findings([], [failure], disabled, {})
     module = ModuleSource(path=path, source=source, tree=tree)
-    if index is None:
-        index = build_index([module])
-    extra: dict[str, list[Finding]] | None = None
-    passes: tuple[str, ...] = ("base",)
-    if dimensional:
-        from repro.analysis.dimensional import analyze_dimensions
-
-        extra = _merge_extra(extra, analyze_dimensions([module], [module]))
-        passes = passes + ("dimensional",)
-    if concurrency:
-        from repro.analysis.concurrency import analyze_concurrency
-
-        extra = _merge_extra(
-            extra, analyze_concurrency([module], [module], disabled),
-        )
-        passes = passes + ("concurrency",)
-    return _lint_modules([module], [], disabled, index, extra, passes)
+    shared = SharedAnalysis([module])
+    if index is not None:
+        shared._index = index
+    passes = resolve_passes(dimensional, concurrency, keysound)
+    extra, timings = run_passes(passes, [module], shared, disabled)
+    return _filter_findings(
+        [module], [], disabled, extra,
+        tuple(one.name for one in passes), timings,
+    )
 
 
 def format_text(result: LintResult) -> str:
@@ -360,6 +334,10 @@ def format_json(result: LintResult) -> str:
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
         "counts": dict(sorted(by_rule.items())),
+        "timings_ms": {
+            name: round(seconds * 1000.0, 3)
+            for name, seconds in result.timings
+        },
         "findings": [f.to_dict() for f in result.findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

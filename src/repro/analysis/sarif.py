@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 output for ``mcpat-repro lint --format sarif``.
+
+The report carries the full rule registry as tool metadata (so code
+scanning UIs render rule names and the invariant each protects) and
+parses the inference chains embedded in finding messages — the
+``... at path.py:line ...`` steps the DIM/CONC/KEY passes produce —
+into SARIF ``relatedLocations``, letting a viewer jump through the
+whole chain that justified a finding.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.analysis.finding import Finding, RULE_INFO, RuleInfo
+from repro.analysis.runner import LintResult
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: ``at <path>.py:<line>`` steps inside an inference chain.
+_CHAIN_SITE_RE = re.compile(r"at ([\w./\\-]+\.py):(\d+)")
+
+#: Pseudo-rules the driver can emit that are not in the registry.
+_PSEUDO_RULES: tuple[RuleInfo, ...] = (
+    RuleInfo("SYNTAX", "file-does-not-parse",
+             "every linted file must parse"),
+    RuleInfo("NOQA", "unknown-suppressed-rule",
+             "suppression comments must name known rule ids"),
+)
+
+
+def _rule_entry(info: RuleInfo) -> dict:
+    return {
+        "id": info.rule_id,
+        "name": info.name,
+        "shortDescription": {"text": info.name.replace("-", " ")},
+        "fullDescription": {"text": info.invariant},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _location(path: str, line: int, col: int = 0,
+              text: str | None = None) -> dict:
+    entry: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {
+                "startLine": max(1, line),
+                "startColumn": col + 1,
+            },
+        },
+    }
+    if text is not None:
+        entry["message"] = {"text": text}
+    return entry
+
+
+def _related_locations(finding: Finding) -> list[dict]:
+    """Inference-chain steps as related locations, deduped in order."""
+    related: list[dict] = []
+    seen: set[tuple[str, int]] = set()
+    for match in _CHAIN_SITE_RE.finditer(finding.message):
+        path, line = match.group(1), int(match.group(2))
+        if (path, line) in seen or (
+            path == finding.path and line == finding.line
+        ):
+            continue
+        seen.add((path, line))
+        start = max(0, match.start() - 80)
+        step = finding.message[start:match.end()]
+        related.append(_location(path, line, 0, f"...{step}"))
+    return related
+
+
+def format_sarif(result: LintResult) -> str:
+    """Render a lint result as a SARIF 2.1.0 log."""
+    rules = list(RULE_INFO) + list(_PSEUDO_RULES)
+    index = {info.rule_id: i for i, info in enumerate(rules)}
+    results = []
+    for finding in result.findings:
+        entry: dict = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                _location(finding.path, finding.line, finding.col),
+            ],
+        }
+        if finding.rule in index:
+            entry["ruleIndex"] = index[finding.rule]
+        related = _related_locations(finding)
+        if related:
+            entry["relatedLocations"] = related
+        results.append(entry)
+    log = {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "mcpat-repro-lint",
+                    "informationUri":
+                        "https://github.com/mcpat-repro",
+                    "rules": [_rule_entry(info) for info in rules],
+                },
+            },
+            "properties": {
+                "passes": list(result.passes),
+                "filesChecked": result.files_checked,
+                "suppressed": result.suppressed,
+                "timingsMs": {
+                    name: round(seconds * 1000.0, 3)
+                    for name, seconds in result.timings
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -371,15 +371,23 @@ def _cmd_surrogate_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import format_json, format_text, lint_paths
+    from repro.analysis import (
+        format_json,
+        format_sarif,
+        format_text,
+        lint_paths,
+    )
 
     dimensional = args.dimensional or args.all
     concurrency = args.concurrency or args.all
+    keysound = args.keysound or args.all
     try:
         result = lint_paths(
             args.paths, disable=args.disable,
             dimensional=dimensional,
             concurrency=concurrency,
+            keysound=keysound,
+            jobs=args.jobs,
         )
     except (FileNotFoundError, ValueError) as exc:
         # Usage errors (bad path, unknown rule id) exit 2; findings
@@ -388,6 +396,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(format_json(result))
+    elif args.format == "sarif":
+        print(format_sarif(result))
     else:
         print(format_text(result))
     return 0 if result.ok else 1
@@ -597,8 +607,8 @@ def main(argv: list[str] | None = None) -> int:
         help="files or directories to lint (e.g. src/ tests/)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default text; sarif for code scanning)",
     )
     lint.add_argument(
         "--disable", action="append", default=[], metavar="RULE",
@@ -615,9 +625,21 @@ def main(argv: list[str] | None = None) -> int:
              "(CONC001-CONC004: races, blocking-in-async, fork safety)",
     )
     lint.add_argument(
+        "--keysound", action="store_true",
+        help="also run the whole-program cache-key soundness pass "
+             "(KEY001/KEY002, DET001/DET002: stale keys, over-keying, "
+             "nondeterministic or impure cached computations)",
+    )
+    lint.add_argument(
         "--all", action="store_true",
         help="run every analysis pass (base + --dimensional + "
-             "--concurrency) with one merged report",
+             "--concurrency + --keysound) with one merged report",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run enabled passes on N threads (default: one per pass, "
+             "capped at the cpu count; the call graph is shared and "
+             "built once)",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 
@@ -80,9 +79,9 @@ def _evaluate_chunk_instrumented(
     """
     obs.reset()
     before = _memo_totals()
-    start_s = time.perf_counter()
+    chunk_timer = obs.timer()
     records = _evaluate_chunk(chunk)
-    obs.observe("pool.chunk_s", time.perf_counter() - start_s)
+    chunk_timer.observe("pool.chunk_s")
     after = _memo_totals()
     delta = obs.export_state()
     for name, total in after.items():
@@ -135,7 +134,7 @@ def evaluate_payloads(
             serial recovery attempt fails as well; the message preserves
             the original worker exception text.
     """
-    start_s = time.perf_counter()
+    pool_timer = obs.timer()
     obs.counter_add("pool.tasks", float(len(payloads)))
     if jobs <= 1 or len(payloads) <= 1 or not fork_available():
         return _evaluate_chunk(payloads)
@@ -186,11 +185,7 @@ def evaluate_payloads(
                     "pool.queue_depth",
                     float(sum(1 for f in futures if not f.done())),
                 )
-            elapsed_s = time.perf_counter() - start_s
-            if elapsed_s > 0:
-                obs.gauge_set(
-                    "pool.tasks_per_s", len(payloads) / elapsed_s,
-                )
+            pool_timer.gauge_rate("pool.tasks_per_s", len(payloads))
             return records
     except OSError:
         # Pool creation itself failed (sandbox, fd limits, ...).

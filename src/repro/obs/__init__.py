@@ -34,6 +34,7 @@ from __future__ import annotations
 from repro.obs import runtime
 from repro.obs.metrics import (
     MetricsSnapshot,
+    Timer,
     absorb,
     counter_add,
     export_state,
@@ -42,6 +43,7 @@ from repro.obs.metrics import (
     observe,
     register_collector,
     snapshot,
+    timer,
 )
 from repro.obs.runtime import active, detail, disable, enable
 from repro.obs.trace import (
@@ -75,6 +77,7 @@ __all__ = [
     "MetricsSnapshot",
     "ProfileEntry",
     "Span",
+    "Timer",
     "absorb",
     "active",
     "attach",
@@ -98,6 +101,7 @@ __all__ = [
     "snapshot",
     "span",
     "spans",
+    "timer",
     "traced",
     "write_chrome_trace",
     "write_jsonl",

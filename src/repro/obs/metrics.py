@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -121,6 +122,39 @@ def observe(name: str, value: float) -> None:
         if state is None:
             state = _HISTOGRAMS[name] = _HistogramState()
         state.observe(value)
+
+
+@dataclass(frozen=True)
+class Timer:
+    """A started monotonic stopwatch; see :func:`timer`."""
+
+    start_s: float
+
+    def elapsed_s(self) -> float:
+        """Seconds since the timer was created."""
+        return time.perf_counter() - self.start_s
+
+    def observe(self, name: str) -> None:
+        """Record the elapsed time into histogram ``name``."""
+        observe(name, self.elapsed_s())
+
+    def gauge_rate(self, name: str, count: float) -> None:
+        """Set gauge ``name`` to ``count`` per elapsed second."""
+        elapsed_s = self.elapsed_s()
+        if elapsed_s > 0:
+            gauge_set(name, count / elapsed_s)
+
+
+def timer() -> Timer:
+    """Start a stopwatch for instrumentation timing.
+
+    Keeps the monotonic-clock read inside the observability layer:
+    callers time a region without touching ``time.perf_counter``
+    themselves, so cached computations stay visibly free of
+    nondeterministic sources (the keysound pass treats this module as
+    instrumentation plumbing).
+    """
+    return Timer(start_s=time.perf_counter())
 
 
 def register_collector(

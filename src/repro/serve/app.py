@@ -491,6 +491,9 @@ class EvalServer:
             report_text = None
             if want_report:
                 report_text = self._report_memo.get_or_compute(
+                    # record.key is config_key(config), so the key
+                    # covers the config the render closes over.
+                    # repro: keyed-by[config]
                     (record.key, depth),
                     lambda: render_report_text(
                         Processor(config), max_depth=depth,

@@ -153,7 +153,11 @@ def _per_um(value: float) -> float:
     return value * 1e6
 
 
-_DEVICE_TABLE: dict[tuple[int, DeviceType], DeviceParameters] = {}
+# Populated once at import time by the ``_add`` calls below and never
+# written afterwards, so memoized readers cannot observe it changing.
+_DEVICE_TABLE: dict[
+    tuple[int, DeviceType], DeviceParameters,
+] = {}  # repro: key-exempt[_DEVICE_TABLE: import-time constant table]
 
 
 def _add(

@@ -603,7 +603,7 @@ class TestRunnerIntegration:
                      str(target)])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert "concurrency" in payload["passes"]
         assert any(
             f["rule"] == "CONC001" for f in payload["findings"]
@@ -615,7 +615,9 @@ class TestRunnerIntegration:
         code = main(["lint", "--all", "--format", "json", str(target)])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["passes"] == ["base", "dimensional", "concurrency"]
+        assert payload["passes"] == [
+            "base", "dimensional", "concurrency", "keysound",
+        ]
 
     def test_cli_usage_error_exit_code(self, tmp_path, capsys):
         code = main(["lint", str(tmp_path / "missing.py")])

@@ -100,7 +100,10 @@ class TestNoqaHygiene:
         # passes active can prove it dead.
         source = "value = 1  # repro: noqa\n"
         assert _lint(source).ok
-        result = _lint(source, dimensional=True, concurrency=True)
+        assert _lint(source, dimensional=True, concurrency=True).ok
+        result = _lint(
+            source, dimensional=True, concurrency=True, keysound=True,
+        )
         (finding,) = result.findings
         assert finding.rule == "LINT001"
         assert "blanket" in finding.message
@@ -157,7 +160,7 @@ class TestOutputFormats:
     def test_json_schema(self):
         result = _lint("x = 1.0 == 1.0\n")
         payload = json.loads(format_json(result))
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["passes"] == ["base"]
         assert payload["files_checked"] == 1
         assert payload["suppressed"] == 0

@@ -90,7 +90,9 @@ class TestMemoThreadSafety:
             barrier.wait()
             for i in range(n_calls):
                 key = (tid * 7 + i) % 32
-                value = memo.get_or_compute(key, lambda k=key: k * 3)
+                value = memo.get_or_compute(  # repro: noqa[KEY002]
+                    key, lambda k=key: k * 3,
+                )
                 if value != key * 3:
                     errors.append((tid, key, value))
 
